@@ -1,0 +1,169 @@
+// End-to-end smoke tests for the command-line tools: build each binary
+// once and drive it against the shipped sample inputs, asserting the
+// load-bearing output. Skipped under -short (they shell out to the Go
+// toolchain).
+package fuzzybarrier_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// buildTools compiles all cmd/ binaries into a shared temp dir.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode: skipping CLI builds")
+	}
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "fuzzybarrier-cli")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"experiments", "fuzzsim", "fuzzcc", "barbench"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, tool), "./cmd/"+tool)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				buildErr = err
+				buildDir = string(out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v\n%s", buildErr, buildDir)
+	}
+	return buildDir
+}
+
+func runTool(t *testing.T, dir, tool string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, tool), args...)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIExperimentsList(t *testing.T) {
+	dir := buildTools(t)
+	out, err := runTool(t, dir, "experiments", "-list")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"E1", "E9", "E13"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %s in list:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIExperimentsSingleAndCSV(t *testing.T) {
+	dir := buildTools(t)
+	out, err := runTool(t, dir, "experiments", "-id", "e3", "-csv")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "mode,") || !strings.Contains(out, "reorder") {
+		t.Errorf("unexpected CSV:\n%s", out)
+	}
+	out, err = runTool(t, dir, "experiments", "-id", "E99")
+	if err == nil {
+		t.Errorf("unknown id accepted:\n%s", out)
+	}
+}
+
+func TestCLIFuzzsimDriftLoop(t *testing.T) {
+	dir := buildTools(t)
+	src, err := filepath.Abs(filepath.Join(programsDir, "driftloop.s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := runTool(t, dir, "fuzzsim", "-procs", "2", "-trace", src)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"cycles:", "syncs=6", "synchronized"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIFuzzsimDetectsFig2Deadlock(t *testing.T) {
+	dir := buildTools(t)
+	a, _ := filepath.Abs(filepath.Join(programsDir, "invalid-fig2.s"))
+	b, _ := filepath.Abs(filepath.Join(programsDir, "fig2-partner.s"))
+	out, err := runTool(t, dir, "fuzzsim", a, b)
+	if err == nil {
+		t.Fatalf("expected nonzero exit for deadlock:\n%s", out)
+	}
+	if !strings.Contains(out, "deadlock") || !strings.Contains(out, "warning") {
+		t.Errorf("missing deadlock diagnostics:\n%s", out)
+	}
+}
+
+func TestCLIFuzzccPipeline(t *testing.T) {
+	dir := buildTools(t)
+	src, _ := filepath.Abs(filepath.Join(programsDir, "poisson.loop"))
+	emitDir := t.TempDir()
+
+	out, err := runTool(t, dir, "fuzzcc", "-procs", "4", "-mode", "reorder",
+		"-show", "stats", "-emit", emitDir, src)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "est-cycles") {
+		t.Errorf("missing stats output:\n%s", out)
+	}
+	// The emitted tasks must run on fuzzsim.
+	tasks, err := filepath.Glob(filepath.Join(emitDir, "task*.s"))
+	if err != nil || len(tasks) != 4 {
+		t.Fatalf("emitted tasks: %v, %v", tasks, err)
+	}
+	out, err = runTool(t, dir, "fuzzsim", tasks...)
+	if err != nil {
+		t.Fatalf("fuzzsim on emitted tasks: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "halted=true") {
+		t.Errorf("emitted tasks did not complete:\n%s", out)
+	}
+}
+
+func TestCLIFuzzccRunAndDag(t *testing.T) {
+	dir := buildTools(t)
+	src, _ := filepath.Abs(filepath.Join(programsDir, "fig9.loop"))
+	out, err := runTool(t, dir, "fuzzcc", "-procs", "4", "-run", "-miss", "5", src)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "simulation: cycles=") {
+		t.Errorf("missing simulation summary:\n%s", out)
+	}
+	out, err = runTool(t, dir, "fuzzcc", "-procs", "4", "-show", "dag", src)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "digraph") {
+		t.Errorf("missing dot output:\n%s", out)
+	}
+}
+
+func TestCLIBarbench(t *testing.T) {
+	dir := buildTools(t)
+	out, err := runTool(t, dir, "barbench", "-procs", "2", "-episodes", "200", "-impl", "central")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "per-episode") {
+		t.Errorf("missing timing output:\n%s", out)
+	}
+}

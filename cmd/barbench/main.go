@@ -1,0 +1,117 @@
+// Command barbench measures runtime (goroutine) barrier implementations:
+// the conventional barriers of internal/baseline and the split-phase fuzzy
+// barrier of internal/core, optionally with a busy "barrier region"
+// between Arrive and Wait — the software analog of the Section 8 Encore
+// measurement.
+//
+// Usage:
+//
+//	barbench                        # all barriers, default sizes
+//	barbench -procs 4 -episodes 100000
+//	barbench -impl fuzzy -region 50 # fuzzy with 50 units of region work
+//
+// Wall-clock numbers on a time-shared goroutine scheduler are noisy; run
+// several times and look at the ordering, not the absolute values (the
+// deterministic version of this experiment is cmd/experiments -id E2).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"fuzzybarrier/internal/baseline"
+	"fuzzybarrier/internal/core"
+)
+
+// spin burns roughly n units of CPU without touching shared memory.
+func spin(n int) uint64 {
+	var x uint64 = 0x9E3779B97F4A7C15
+	for i := 0; i < n*8; i++ {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+	}
+	return x
+}
+
+var sink uint64
+
+func measurePoint(name string, procs, episodes int) (time.Duration, error) {
+	b, err := baseline.New(name, procs)
+	if err != nil {
+		return 0, err
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for e := 0; e < episodes; e++ {
+				b.Await(id)
+			}
+		}(p)
+	}
+	wg.Wait()
+	return time.Since(start), nil
+}
+
+func measureFuzzy(procs, episodes, work, region int) time.Duration {
+	b := core.NewFuzzyBarrier(procs)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var acc uint64
+			for e := 0; e < episodes; e++ {
+				acc += spin(work)
+				ph := b.Arrive()
+				acc += spin(region)
+				b.Wait(ph)
+			}
+			sink += acc
+		}(p)
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+func main() {
+	procs := flag.Int("procs", 4, "participants")
+	episodes := flag.Int("episodes", 50_000, "barrier episodes")
+	impl := flag.String("impl", "", "single implementation (default: all)")
+	work := flag.Int("work", 20, "per-episode non-barrier work units (fuzzy only)")
+	region := flag.Int("region", 0, "per-episode barrier-region work units (fuzzy only)")
+	flag.Parse()
+
+	if *procs > runtime.GOMAXPROCS(0) {
+		fmt.Fprintf(os.Stderr, "barbench: note: %d participants > GOMAXPROCS=%d; spin barriers will thrash\n",
+			*procs, runtime.GOMAXPROCS(0))
+	}
+
+	names := baseline.Names()
+	if *impl != "" {
+		names = []string{*impl}
+	}
+	for _, name := range names {
+		if name == "fuzzy" {
+			d := measureFuzzy(*procs, *episodes, *work, *region)
+			fmt.Printf("%-16s procs=%-3d episodes=%-8d region=%-4d total=%-12v per-episode=%v\n",
+				"fuzzy(split)", *procs, *episodes, *region, d, d/time.Duration(*episodes))
+			continue
+		}
+		d, err := measurePoint(name, *procs, *episodes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "barbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-16s procs=%-3d episodes=%-8d total=%-12v per-episode=%v\n",
+			name, *procs, *episodes, d, d/time.Duration(*episodes))
+	}
+}

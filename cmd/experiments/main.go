@@ -1,0 +1,78 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index).
+//
+// Usage:
+//
+//	experiments             # run all experiments, print tables
+//	experiments -id E3      # run one experiment
+//	experiments -list       # list experiment IDs and titles
+//	experiments -csv        # emit CSV instead of fixed-width tables
+//	experiments -out DIR    # also write one .txt and .csv per experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fuzzybarrier/internal/exp"
+)
+
+func main() {
+	id := flag.String("id", "", "run a single experiment (E1..E11)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	csv := flag.Bool("csv", false, "emit CSV")
+	outDir := flag.String("out", "", "also write per-experiment .txt and .csv files to this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	run := exp.All()
+	if *id != "" {
+		e, ok := exp.ByID(strings.ToUpper(*id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (known: %s)\n", *id, strings.Join(exp.IDs(), " "))
+			os.Exit(2)
+		}
+		run = []exp.Experiment{e}
+	}
+
+	failed := 0
+	for _, e := range run {
+		tbl, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if *csv {
+			fmt.Print(tbl.CSV())
+		} else {
+			fmt.Println(tbl)
+		}
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			base := fmt.Sprintf("%s/%s", *outDir, strings.ToLower(e.ID))
+			if err := os.WriteFile(base+".txt", []byte(tbl.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := os.WriteFile(base+".csv", []byte(tbl.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,86 @@
+// Compiler: walk through the Section 4 compilation of the Poisson solver
+// (Figure 3 → Figure 4): dependence analysis marks the array accesses,
+// region construction splits barrier from non-barrier code, and the
+// three-phase DAG reordering moves the address arithmetic out of the
+// non-barrier region — then both versions run on the simulator under
+// cache-miss drift to show the reordered code stalling less.
+//
+//	go run ./examples/compiler
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"fuzzybarrier/internal/compiler"
+	"fuzzybarrier/internal/lang"
+	"fuzzybarrier/internal/machine"
+	"fuzzybarrier/internal/mem"
+)
+
+const src = `
+int P[4][4];
+for (k=1; k<=40; k++) do seq
+  for (i=1; i<=2; i++) do par
+    for (j=1; j<=2; j++) do par {
+      P[i][j] = (P[i][j+1] + P[i][j-1] + P[i+1][j] + P[i-1][j]) / 4;
+    }
+`
+
+func main() {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("source (Figure 3(a), M=2):")
+	fmt.Println(indent(prog.String()))
+
+	for _, mode := range []compiler.RegionMode{compiler.RegionSpan, compiler.RegionReorder} {
+		c, err := compiler.Compile(prog, compiler.Options{Procs: 4, Mode: mode})
+		if err != nil {
+			fail(err)
+		}
+		st := c.Tasks[0].Stats
+		fmt.Printf("== mode %s: non-barrier=%d barrier=%d marked=%d ==\n",
+			mode, st.NonBarrier, st.Barrier, st.Marked)
+		if mode == compiler.RegionSpan {
+			fmt.Printf("marked accesses: %s\n", strings.Join(c.Marked, " "))
+		}
+		fmt.Println(indent(c.Tasks[0].TAC.String()))
+
+		// Simulate under cache-miss drift.
+		m := machine.New(machine.Config{
+			Procs: 4,
+			Mem: mem.Config{
+				Words: int(c.Layout.Words) + 64, Procs: 4,
+				HitLatency: 1, MissLatency: 24,
+				CacheLines: 64, LineWords: 2, Modules: 4,
+				MissEveryN: 5,
+			},
+		})
+		for _, task := range c.Tasks {
+			if err := m.Load(task.Proc, task.Machine); err != nil {
+				fail(err)
+			}
+		}
+		res, err := m.Run()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("simulated with cache-miss drift: cycles=%d total-stalls=%d syncs=%d\n\n",
+			res.Cycles, res.TotalStalls(), res.Syncs())
+	}
+	fmt.Println("Reordering (Figure 4(b)) moves the address computations into the")
+	fmt.Println("barrier region, so the same drift produces fewer stall cycles.")
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "    " + strings.Join(lines, "\n    ") + "\n"
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "example:", err)
+	os.Exit(1)
+}

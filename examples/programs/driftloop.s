@@ -1,0 +1,16 @@
+; A two-processor drift loop for cmd/fuzzsim. Run with:
+;     go run ./cmd/fuzzsim -procs 2 -trace examples/programs/driftloop.s
+; Every processor executes the same stream; the BARRIER mask 0x3 makes
+; each synchronize with the other (its own bit is ignored).
+.program driftloop
+    BARRIER 1, 0x3
+    LDI  r1, 0
+    LDI  r2, 6
+loop:
+    WORK 12            ; non-barrier work
+.barrier
+    WORK 20            ; barrier region: absorbs drift
+    ADDI r1, r1, 1
+    BLT  r1, r2, loop
+.nonbarrier
+    HALT

@@ -1,0 +1,13 @@
+; The partner stream for invalid-fig2.s: it expects TWO synchronizations
+; and deadlocks at the second one.
+.program fig2-partner
+    BARRIER 1, 0x1
+.barrier
+    NOP
+.nonbarrier
+    WORK 10
+.barrier
+    NOP
+    NOP
+.nonbarrier
+    HALT

@@ -1,0 +1,18 @@
+; Figure 2's invalid branch: control moves straight from barrier1 into
+; barrier2, so this processor crosses both with one synchronization.
+; fuzzsim prints a validation warning and (run against fig2-partner.s)
+; detects the deadlock:
+;     go run ./cmd/fuzzsim examples/programs/invalid-fig2.s examples/programs/fig2-partner.s
+.program fig2-invalid
+    BARRIER 1, 0x2
+.barrier
+    NOP
+    BR  bar2           ; INVALID: skips the non-barrier region
+.nonbarrier
+    WORK 10
+.barrier
+bar2:
+    NOP
+    NOP
+.nonbarrier
+    HALT

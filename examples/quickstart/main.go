@@ -1,0 +1,62 @@
+// Quickstart: the split-phase fuzzy barrier in twenty lines.
+//
+// Four workers run a loop of phases. In each phase a worker produces a
+// value other workers will read next phase (the "marked" work), then
+// calls Arrive — it is now ready to synchronize. Instead of idling until
+// the others catch up, it does its private bookkeeping (the "barrier
+// region"), and only Wait-s when it actually needs the next phase's data.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"fuzzybarrier/internal/core"
+)
+
+const (
+	workers = 4
+	phases  = 5
+)
+
+func main() {
+	b := core.NewFuzzyBarrier(workers)
+	shared := make([]int, workers) // phase outputs, one slot per worker
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			private := 0
+			for phase := 0; phase < phases; phase++ {
+				// Work others depend on: publish my value for this phase.
+				shared[id] = id*100 + phase
+
+				ph := b.Arrive() // ready to synchronize; does not block
+
+				// Barrier region: work only I depend on, executed while
+				// the other workers are still publishing.
+				private += id + phase
+
+				b.Wait(ph) // block only if someone has not arrived yet
+
+				// Safe: every worker's phase value is published.
+				sum := 0
+				for _, v := range shared {
+					sum += v
+				}
+				if id == 0 {
+					fmt.Printf("phase %d: sum of published values = %d\n", phase, sum)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	syncs, arrivals, fast, spins, blocks, _ := b.Stats()
+	fmt.Printf("episodes=%d arrivals=%d waits: fast=%d spin=%d blocked=%d\n",
+		syncs, arrivals, fast, spins, blocks)
+}

@@ -1,0 +1,3 @@
+module fuzzybarrier
+
+go 1.22

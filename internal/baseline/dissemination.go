@@ -1,0 +1,73 @@
+package baseline
+
+import "sync/atomic"
+
+// Dissemination is the dissemination barrier (Hensgen, Finkel & Manber;
+// Mellor-Crummey & Scott): ⌈log2 n⌉ rounds in which participant i signals
+// participant (i + 2^r) mod n and waits for its own flag. Every
+// participant spins on a distinct local flag, so there are no hot spots,
+// and the critical path is logarithmic — the best software case the
+// paper's Section 1 acknowledges.
+//
+// Flags are per-(participant, parity, round) epoch counters rather than
+// booleans, which removes the need for sense reversal resets.
+type Dissemination struct {
+	n        int
+	rounds   int
+	flags    [][]atomic.Int64 // [participant][round] signal counters
+	state    []dissState
+	spins    atomic.Int64
+	episodes atomic.Int64
+}
+
+type dissState struct {
+	epoch int64
+	_     pad
+}
+
+// NewDissemination creates a dissemination barrier for n participants.
+func NewDissemination(n int) *Dissemination {
+	checkN(n)
+	rounds := ceilLog2(n)
+	if rounds == 0 {
+		rounds = 1 // n == 1: a single self-round keeps the code uniform
+	}
+	b := &Dissemination{n: n, rounds: rounds, state: make([]dissState, n)}
+	b.flags = make([][]atomic.Int64, n)
+	for i := range b.flags {
+		b.flags[i] = make([]atomic.Int64, rounds)
+	}
+	return b
+}
+
+// Await implements Barrier.
+func (b *Dissemination) Await(id int) {
+	checkID(id, b.n)
+	st := &b.state[id]
+	st.epoch++
+	target := st.epoch
+	for r := 0; r < b.rounds; r++ {
+		partner := (id + (1 << uint(r))) % b.n
+		b.flags[partner][r].Add(1)
+		f := &b.flags[id][r]
+		b.spins.Add(spinWait(func() bool { return f.Load() >= target }))
+	}
+	if id == 0 {
+		b.episodes.Add(1)
+	}
+}
+
+// N implements Barrier.
+func (b *Dissemination) N() int { return b.n }
+
+// Name implements Barrier.
+func (b *Dissemination) Name() string { return "dissemination" }
+
+// Spins implements Barrier.
+func (b *Dissemination) Spins() int64 { return b.spins.Load() }
+
+// Episodes implements Barrier.
+func (b *Dissemination) Episodes() int64 { return b.episodes.Load() }
+
+// Rounds returns the number of communication rounds per episode.
+func (b *Dissemination) Rounds() int { return b.rounds }

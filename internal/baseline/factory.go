@@ -1,0 +1,76 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"fuzzybarrier/internal/core"
+)
+
+// New constructs a barrier by name. Known names: "central",
+// "sense-reversing", "tree", "dissemination", "tournament", and "fuzzy"
+// (a core.FuzzyBarrier used as a point barrier, for apples-to-apples
+// comparisons).
+func New(name string, n int) (Barrier, error) {
+	switch name {
+	case "central":
+		return NewCentral(n), nil
+	case "sense-reversing":
+		return NewSenseReversing(n), nil
+	case "tree":
+		return NewTree(n, 4), nil
+	case "dissemination":
+		return NewDissemination(n), nil
+	case "tournament":
+		return NewTournament(n), nil
+	case "fuzzy":
+		return NewFuzzyPoint(n), nil
+	}
+	return nil, fmt.Errorf("baseline: unknown barrier %q", name)
+}
+
+// Names returns the known barrier names in stable order.
+func Names() []string {
+	names := []string{"central", "sense-reversing", "tree", "dissemination", "tournament", "fuzzy"}
+	sort.Strings(names)
+	return names
+}
+
+// FuzzyPoint adapts core.FuzzyBarrier to the Barrier interface by using it
+// as a point barrier (empty barrier region). Its split-phase API remains
+// available through Inner.
+type FuzzyPoint struct {
+	inner *core.FuzzyBarrier
+}
+
+// NewFuzzyPoint wraps a fresh fuzzy barrier for n participants.
+func NewFuzzyPoint(n int) *FuzzyPoint {
+	return &FuzzyPoint{inner: core.NewFuzzyBarrier(n)}
+}
+
+// Inner exposes the wrapped fuzzy barrier.
+func (b *FuzzyPoint) Inner() *core.FuzzyBarrier { return b.inner }
+
+// Await implements Barrier.
+func (b *FuzzyPoint) Await(id int) {
+	checkID(id, b.inner.N())
+	b.inner.Await()
+}
+
+// N implements Barrier.
+func (b *FuzzyPoint) N() int { return b.inner.N() }
+
+// Name implements Barrier.
+func (b *FuzzyPoint) Name() string { return "fuzzy" }
+
+// Spins implements Barrier.
+func (b *FuzzyPoint) Spins() int64 {
+	_, _, _, _, _, spinIters := b.inner.Stats()
+	return spinIters
+}
+
+// Episodes implements Barrier.
+func (b *FuzzyPoint) Episodes() int64 {
+	syncs, _, _, _, _, _ := b.inner.Stats()
+	return syncs
+}

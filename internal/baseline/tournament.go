@@ -1,0 +1,100 @@
+package baseline
+
+import "sync/atomic"
+
+// Tournament is the tournament barrier: participants play ⌈log2 n⌉
+// statically scheduled rounds; in each round the "loser" signals the
+// "winner" and waits to be woken, and the overall champion (participant 0)
+// unwinds the bracket to wake everyone. Like dissemination it is hot-spot
+// free with a logarithmic critical path; unlike dissemination only one
+// signal is sent per pair per round.
+type Tournament struct {
+	n        int
+	rounds   int
+	arrive   [][]atomic.Int64 // [winner][round] arrival epochs
+	wake     [][]atomic.Int64 // [loser][round] wakeup epochs
+	state    []dissState
+	spins    atomic.Int64
+	episodes atomic.Int64
+}
+
+// NewTournament creates a tournament barrier for n participants.
+func NewTournament(n int) *Tournament {
+	checkN(n)
+	rounds := ceilLog2(n)
+	b := &Tournament{n: n, rounds: rounds, state: make([]dissState, n)}
+	b.arrive = make([][]atomic.Int64, n)
+	b.wake = make([][]atomic.Int64, n)
+	for i := 0; i < n; i++ {
+		b.arrive[i] = make([]atomic.Int64, rounds+1)
+		b.wake[i] = make([]atomic.Int64, rounds+1)
+	}
+	return b
+}
+
+// Await implements Barrier.
+func (b *Tournament) Await(id int) {
+	checkID(id, b.n)
+	st := &b.state[id]
+	st.epoch++
+	target := st.epoch
+
+	// Arrival phase: climb the bracket until losing (or becoming
+	// champion).
+	lostAt := 0 // round at which id lost; 0 means champion
+	for k := 1; k <= b.rounds; k++ {
+		step := 1 << uint(k-1)
+		if id%(1<<uint(k)) == 0 {
+			opp := id + step
+			if opp < b.n {
+				// Winner: wait for the loser's arrival signal.
+				f := &b.arrive[id][k]
+				b.spins.Add(spinWait(func() bool { return f.Load() >= target }))
+			}
+			// Bye when opp >= n: advance silently.
+			continue
+		}
+		// Loser: signal the winner and stop climbing.
+		winner := id - step
+		b.arrive[winner][k].Add(1)
+		lostAt = k
+		break
+	}
+
+	if lostAt == 0 {
+		// Champion: everyone has arrived.
+		b.episodes.Add(1)
+	} else {
+		// Wait to be woken by the round we lost.
+		f := &b.wake[id][lostAt]
+		b.spins.Add(spinWait(func() bool { return f.Load() >= target }))
+	}
+
+	// Wakeup phase: wake the losers beaten in earlier rounds (the
+	// champion unwinds from the top).
+	top := b.rounds
+	if lostAt != 0 {
+		top = lostAt - 1
+	}
+	for k := top; k >= 1; k-- {
+		loser := id + (1 << uint(k-1))
+		if loser < b.n {
+			b.wake[loser][k].Add(1)
+		}
+	}
+}
+
+// N implements Barrier.
+func (b *Tournament) N() int { return b.n }
+
+// Name implements Barrier.
+func (b *Tournament) Name() string { return "tournament" }
+
+// Spins implements Barrier.
+func (b *Tournament) Spins() int64 { return b.spins.Load() }
+
+// Episodes implements Barrier.
+func (b *Tournament) Episodes() int64 { return b.episodes.Load() }
+
+// Rounds returns the bracket depth.
+func (b *Tournament) Rounds() int { return b.rounds }

@@ -1,0 +1,129 @@
+package baseline
+
+import "sync/atomic"
+
+// Tree is a software combining-tree barrier (the hot-spot remedy of the
+// paper's reference [4]): arrivals combine up a tree of counters with a
+// small fan-in, so no single location receives more than fanIn atomic
+// operations per episode during the arrival phase. Release uses a single
+// shared episode word, which is read-shared (one invalidation per
+// episode) rather than write-contended.
+type Tree struct {
+	n        int
+	fanIn    int
+	nodes    []treeNode
+	leaf     []int // participant -> leaf node index
+	_        pad
+	release  atomic.Int64
+	_        pad
+	spins    atomic.Int64
+	episodes atomic.Int64
+}
+
+type treeNode struct {
+	count  atomic.Int64
+	total  int64
+	parent int // -1 for root
+	_      pad
+}
+
+// NewTree creates a combining-tree barrier with the given fan-in
+// (values < 2 default to 4).
+func NewTree(n, fanIn int) *Tree {
+	checkN(n)
+	if fanIn < 2 {
+		fanIn = 4
+	}
+	b := &Tree{n: n, fanIn: fanIn, leaf: make([]int, n)}
+
+	// Build the tree bottom-up: level 0 groups participants into leaves,
+	// each higher level groups the nodes of the level below.
+	type level struct{ first, count int }
+	var levels []level
+	// Leaves.
+	nLeaves := (n + fanIn - 1) / fanIn
+	if nLeaves == 0 {
+		nLeaves = 1
+	}
+	b.nodes = make([]treeNode, 0, 2*nLeaves)
+	for i := 0; i < nLeaves; i++ {
+		total := fanIn
+		if i == nLeaves-1 {
+			total = n - fanIn*(nLeaves-1)
+			if total == 0 {
+				total = fanIn
+			}
+		}
+		b.nodes = append(b.nodes, treeNode{total: int64(total), parent: -1})
+	}
+	levels = append(levels, level{0, nLeaves})
+	for p := 0; p < n; p++ {
+		b.leaf[p] = p / fanIn
+	}
+	// Interior levels.
+	for levels[len(levels)-1].count > 1 {
+		prev := levels[len(levels)-1]
+		cnt := (prev.count + fanIn - 1) / fanIn
+		first := len(b.nodes)
+		for i := 0; i < cnt; i++ {
+			total := fanIn
+			if i == cnt-1 {
+				total = prev.count - fanIn*(cnt-1)
+				if total == 0 {
+					total = fanIn
+				}
+			}
+			b.nodes = append(b.nodes, treeNode{total: int64(total), parent: -1})
+		}
+		for i := 0; i < prev.count; i++ {
+			b.nodes[prev.first+i].parent = first + i/fanIn
+		}
+		levels = append(levels, level{first, cnt})
+	}
+	return b
+}
+
+// Await implements Barrier.
+func (b *Tree) Await(id int) {
+	checkID(id, b.n)
+	target := b.release.Load() + 1
+	node := b.leaf[id]
+	// Climb while we are the last arriver at each node.
+	for node >= 0 {
+		nd := &b.nodes[node]
+		if nd.count.Add(1) < nd.total {
+			// Not last here; wait for the release.
+			b.spins.Add(spinWait(func() bool { return b.release.Load() >= target }))
+			return
+		}
+		nd.count.Store(0)
+		node = nd.parent
+	}
+	// Last arriver at the root releases everyone.
+	b.episodes.Add(1)
+	b.release.Add(1)
+}
+
+// N implements Barrier.
+func (b *Tree) N() int { return b.n }
+
+// Name implements Barrier.
+func (b *Tree) Name() string { return "tree" }
+
+// Spins implements Barrier.
+func (b *Tree) Spins() int64 { return b.spins.Load() }
+
+// Episodes implements Barrier.
+func (b *Tree) Episodes() int64 { return b.episodes.Load() }
+
+// Depth returns the height of the combining tree (number of levels above
+// the participants); the arrival critical path is Depth atomic operations.
+func (b *Tree) Depth() int {
+	d := 0
+	node := 0
+	for node >= 0 {
+		d++
+		node = b.nodes[node].parent
+	}
+	return d
+}

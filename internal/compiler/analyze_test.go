@@ -1,0 +1,180 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"fuzzybarrier/internal/lang"
+)
+
+func TestAffineCanonicalization(t *testing.T) {
+	parse := func(src string) lang.Expr {
+		// Wrap in a full program to reuse the parser.
+		p := lang.MustParse("int a[100][100];\nfor (q=1; q<=1; q++) do seq\n  for (w=1; w<=1; w++) do par { a[" + src + "][1] = 0; }")
+		asg := p.Body[0].(*lang.ForStmt).Body[0].(*lang.ForStmt).Body[0].(*lang.AssignStmt)
+		return asg.LHS.Indices[0]
+	}
+	cases := map[string]subscript{
+		"i":     {Var: "i"},
+		"i+1":   {Var: "i", Offset: 1},
+		"i-2":   {Var: "i", Offset: -2},
+		"3+i":   {Var: "i", Offset: 3},
+		"i+1-1": {Var: "i"},
+		"5":     {Offset: 5},
+		"2+3":   {Offset: 5},
+		"2*3":   {Offset: 6},
+		"i*j":   {Opaque: true},
+		"i+j":   {Opaque: true},
+		"i*2":   {Opaque: true}, // scaled subscripts are out of scope
+	}
+	for src, want := range cases {
+		got := affineOf(parse(src))
+		if got != want {
+			t.Errorf("affineOf(%q) = %+v, want %+v", src, got, want)
+		}
+	}
+}
+
+func TestSubscriptString(t *testing.T) {
+	cases := map[string]subscript{
+		"i":   {Var: "i"},
+		"i+2": {Var: "i", Offset: 2},
+		"i-3": {Var: "i", Offset: -3},
+		"7":   {Offset: 7},
+		"?":   {Opaque: true},
+	}
+	for want, s := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%+v.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestCrossProcessorCases(t *testing.T) {
+	analyzeSrc := func(src string) *analysis {
+		return analyze(lang.MustParse(src))
+	}
+	cases := []struct {
+		name   string
+		src    string
+		marked []string
+		clean  []string
+	}{
+		{
+			name: "par displacement marks",
+			src: `int a[10][10];
+for (k=1; k<=4; k++) do seq
+  for (p=1; p<=4; p++) do par { a[p][1] = a[p+1][1] + 1; }`,
+			marked: []string{"a[p][1]:W", "a[p+1][1]:R"},
+		},
+		{
+			name: "owned accesses stay clean",
+			src: `int a[10][10];
+for (k=1; k<=4; k++) do seq
+  for (p=1; p<=4; p++) do par { a[p][1] = a[p][1] + 1; }`,
+			clean: []string{"a[p][1]:W", "a[p][1]:R"},
+		},
+		{
+			name: "missing par var marks (all procs share the element)",
+			src: `int a[10][10];
+for (k=1; k<=4; k++) do seq
+  for (p=1; p<=4; p++) do par { a[1][k] = a[1][k] + p; }`,
+			marked: []string{"a[1][k]:W"},
+		},
+		{
+			name: "seq-var displacement alone stays clean",
+			src: `int a[10][10];
+for (k=1; k<=4; k++) do seq
+  for (p=1; p<=4; p++) do par { a[p][k] = a[p][k-1] + 1; }`,
+			clean: []string{"a[p][k]:W", "a[p][k-1]:R"},
+		},
+		{
+			name: "read-only arrays never marked",
+			src: `int a[10][10];
+int b[10][10];
+for (k=1; k<=4; k++) do seq
+  for (p=1; p<=4; p++) do par { a[p][k] = b[p+1][k] + b[p-1][k]; }`,
+			clean: []string{"b[p+1][k]:R", "b[p-1][k]:R"},
+		},
+		{
+			name: "opaque subscript is conservative",
+			src: `int a[100][10];
+for (k=1; k<=4; k++) do seq
+  for (p=1; p<=4; p++) do par { a[p*2][k] = a[p*2][k] + 1; }`,
+			marked: []string{"a[?][k]:W"},
+		},
+		{
+			name: "constant dimension mismatch stays clean",
+			src: `int a[10][10];
+for (k=1; k<=4; k++) do seq
+  for (p=1; p<=4; p++) do par { a[p][1] = a[p][2] + 1; }`,
+			clean: []string{"a[p][1]:W", "a[p][2]:R"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			an := analyzeSrc(c.src)
+			for _, sig := range c.marked {
+				if !an.Marked(sig) {
+					t.Errorf("%s should be marked; set = %v", sig, an.MarkedSignatures())
+				}
+			}
+			for _, sig := range c.clean {
+				if an.Marked(sig) {
+					t.Errorf("%s should NOT be marked; set = %v", sig, an.MarkedSignatures())
+				}
+			}
+		})
+	}
+}
+
+func TestSubstVarTransform(t *testing.T) {
+	src := `int a[20][20];
+for (j=1; j<=8; j++) do seq
+  for (i=1; i<=4; i++) do par { a[j][i] = a[j-1][i] + j; }`
+	prog := lang.MustParse(src)
+	outer := prog.Body[0].(*lang.ForStmt)
+	unrolled, err := UnrollSeq(outer, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unrolled.Step != 2 {
+		t.Errorf("step = %d, want 2", unrolled.Step)
+	}
+	if len(unrolled.Body) != 2 {
+		t.Fatalf("body statements = %d, want 2", len(unrolled.Body))
+	}
+	// The second replica must reference j+1 in the rendered source.
+	rendered := (&lang.Program{Arrays: prog.Arrays, Body: []lang.Stmt{unrolled}}).String()
+	if !strings.Contains(rendered, "a[(j + 1)]") {
+		t.Errorf("unrolled body missing j+1 reference:\n%s", rendered)
+	}
+}
+
+func TestUnrollShadowedVariableRejected(t *testing.T) {
+	src := `int a[20][20];
+for (j=1; j<=8; j++) do seq
+  for (i=1; i<=4; i++) do par { a[j][i] = a[j-1][i] + j; }`
+	prog := lang.MustParse(src)
+	outer := prog.Body[0].(*lang.ForStmt)
+	// Shadow: rename inner loop var to j (illegal to unroll).
+	inner := outer.Body[0].(*lang.ForStmt)
+	inner.Var = "j"
+	if _, err := UnrollSeq(outer, 2, nil); err == nil {
+		t.Error("unrolling over a shadowed variable must fail")
+	}
+}
+
+func TestUnrollWithParams(t *testing.T) {
+	src := `int a[20][20];
+for (j=1; j<=N; j++) do seq
+  for (i=1; i<=4; i++) do par { a[j][i] = a[j-1][i] + j; }`
+	prog := lang.MustParse(src)
+	outer := prog.Body[0].(*lang.ForStmt)
+	if _, err := UnrollSeq(outer, 2, map[string]int64{"N": 8}); err != nil {
+		t.Fatalf("unroll with params: %v", err)
+	}
+	if _, err := UnrollSeq(outer, 2, nil); err == nil {
+		t.Error("unbound N should fail constant evaluation")
+	}
+}

@@ -1,0 +1,229 @@
+package compiler
+
+import (
+	"fmt"
+
+	"fuzzybarrier/internal/dag"
+	"fuzzybarrier/internal/ir"
+	"fuzzybarrier/internal/lang"
+)
+
+// compileTask builds one processor's task: distribute the work, lower to
+// TAC, construct barrier/non-barrier regions, and generate machine code.
+func compileTask(prog *lang.Program, outer *lang.ForStmt, layout *Layout, an *analysis, opt Options, p int) (*Task, error) {
+	params := make(map[string]int64, len(opt.Params))
+	for k, v := range opt.Params {
+		params[k] = v
+	}
+
+	// Lower each top-level statement of the sequential loop body into its
+	// own chunk. Region structure is decided *globally* per statement (a
+	// statement with marked accesses yields one non-barrier window on
+	// every processor, so synchronization counts agree across streams).
+	type chunk struct {
+		code     []ir.Instr
+		windowed bool // this statement carries a non-barrier window
+	}
+	var chunks []chunk
+	lblBase := 0
+	for si, stmt := range outer.Body {
+		stmts, binds, err := distribute(stmt, params, opt.Procs, p)
+		if err != nil {
+			return nil, fmt.Errorf("statement %d: %w", si, err)
+		}
+		taskParams := make(map[string]int64, len(params)+len(binds))
+		for k, v := range params {
+			taskParams[k] = v
+		}
+		for k, v := range binds {
+			taskParams[k] = v
+		}
+		// Each distributed statement becomes its own chunk, so that an
+		// unmarked statement sharing a parallel loop with marked code
+		// still lands in the barrier region — the Figure 7 construction,
+		// where the whole if-statement follows the marked assignment into
+		// the region.
+		if len(stmts) == 0 {
+			chunks = append(chunks, chunk{windowed: stmtHasMarked(stmt, an)})
+			continue
+		}
+		for _, s := range stmts {
+			lo := newLowerer(layout, taskParams, an.Marked)
+			lo.nextLbl = lblBase
+			lo.lowerStmt(s)
+			code, err := lo.finish()
+			if err != nil {
+				return nil, fmt.Errorf("statement %d: %w", si, err)
+			}
+			lblBase = lo.nextLbl
+			chunks = append(chunks, chunk{code: code, windowed: stmtHasMarked(s, an)})
+		}
+	}
+
+	// Assemble the loop body with Barrier flags.
+	var body []ir.Instr
+	anyWindow := false
+	setBarrier := func(code []ir.Instr, barrier bool) {
+		for i := range code {
+			code[i].Barrier = barrier
+		}
+	}
+	for _, ch := range chunks {
+		if opt.Mode == RegionPoint || !ch.windowed {
+			// Point mode marks nothing here; the single-nop barrier
+			// region is appended after the body. Unmarked statements are
+			// barrier-region code (Figure 5's distributed S2 loop).
+			setBarrier(ch.code, opt.Mode != RegionPoint)
+			body = append(body, ch.code...)
+			continue
+		}
+		anyWindow = true
+		switch {
+		case len(ch.code) == 0:
+			// The statement is marked globally but this processor owns no
+			// iterations: emit the paper's null operation as its window.
+			body = append(body, ir.Instr{Op: ir.Nop, Comment: "empty window (no owned iterations)"})
+		case isStraightLine(ch.code) && opt.Mode == RegionReorder:
+			split, err := dag.ThreePhase(ir.Block(ch.code))
+			if err != nil {
+				return nil, err
+			}
+			setBarrier(split.Pre, true)
+			setBarrier(split.NonBarrier, false)
+			setBarrier(split.Post, true)
+			body = append(body, split.Pre...)
+			body = append(body, split.NonBarrier...)
+			body = append(body, split.Post...)
+		case isStraightLine(ch.code):
+			// Figure 4(a): the window spans first..last marked.
+			first, last := markedSpan(ch.code)
+			setBarrier(ch.code[:first], true)
+			setBarrier(ch.code[first:last+1], false)
+			setBarrier(ch.code[last+1:], true)
+			body = append(body, ch.code...)
+		default:
+			// Control flow around marked accesses: the entire statement
+			// becomes the non-barrier window (Figure 5(c)'s S1 loop).
+			setBarrier(ch.code, false)
+			body = append(body, ch.code...)
+		}
+	}
+	if opt.Mode != RegionPoint && !anyWindow {
+		// No marked statements at all: keep per-iteration synchronization
+		// well-defined with a one-instruction non-barrier window.
+		body = append(body, ir.Instr{Op: ir.Nop, Comment: "window (no marked statements)"})
+	}
+
+	// Wrap with the sequential loop control. In the fuzzy modes the
+	// control code belongs to the barrier region (Figure 4); in point
+	// mode the barrier region is a single null operation and everything
+	// else is non-barrier.
+	ctlBarrier := opt.Mode != RegionPoint
+	var code []ir.Instr
+	outerFromOp, err := lowerConstOrVar(outer.From, params)
+	if err != nil {
+		return nil, fmt.Errorf("outer loop start: %w", err)
+	}
+	outerToOp, err := lowerConstOrVar(outer.To, params)
+	if err != nil {
+		return nil, fmt.Errorf("outer loop bound: %w", err)
+	}
+	kv := ir.Var(outer.Var)
+	code = append(code, ir.Instr{Op: ir.Assign, Dst: kv, A: outerFromOp, Barrier: ctlBarrier})
+	code = append(code, ir.Instr{Op: ir.Label, Target: "Lhead", Barrier: ctlBarrier})
+	code = append(code, body...)
+	if opt.Mode == RegionPoint {
+		code = append(code, ir.Instr{Op: ir.Nop, Barrier: true, Comment: "point barrier"})
+	}
+	code = append(code, ir.Instr{Op: ir.Add, Dst: kv, A: kv, B: ir.Const(outer.Step), Barrier: ctlBarrier})
+	code = append(code, ir.Instr{Op: ir.IfGoto, A: kv, B: outerToOp, Rel: outer.Rel, Target: "Lhead", Barrier: ctlBarrier})
+
+	tac := &ir.Program{Name: fmt.Sprintf("task-P%d", p), Code: code}
+	mach, err := codegen(tac, layout, opt, p)
+	if err != nil {
+		return nil, err
+	}
+	return &Task{Proc: p, TAC: tac, Machine: mach, Stats: tac.Stats()}, nil
+}
+
+// lowerConstOrVar lowers a loop-bound expression that must be either a
+// compile-time constant or a bare scalar variable.
+func lowerConstOrVar(e lang.Expr, params map[string]int64) (ir.Operand, error) {
+	lo := newLowerer(nil, params, nil)
+	if v, ok := lo.constOf(e); ok {
+		return ir.Const(v), nil
+	}
+	if v, ok := e.(lang.VarExpr); ok {
+		return ir.Var(v.Name), nil
+	}
+	return ir.Operand{}, fmt.Errorf("bound %v must be a constant or scalar variable", e)
+}
+
+func isStraightLine(code []ir.Instr) bool {
+	for _, in := range code {
+		if in.IsControl() {
+			return false
+		}
+	}
+	return true
+}
+
+func markedSpan(code []ir.Instr) (first, last int) {
+	first, last = -1, -1
+	for i, in := range code {
+		if in.Marked {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	if first < 0 {
+		// Caller guarantees at least one marked instruction; degrade to
+		// the whole chunk if not.
+		return 0, len(code) - 1
+	}
+	return first, last
+}
+
+// stmtHasMarked reports whether a statement contains any access whose
+// signature the analysis marked.
+func stmtHasMarked(s lang.Stmt, an *analysis) bool {
+	found := false
+	var walkExpr func(e lang.Expr)
+	walkExpr = func(e lang.Expr) {
+		switch x := e.(type) {
+		case lang.BinExpr:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case lang.IndexExpr:
+			if an.Marked(accessSig(x.Name, x.Indices, false)) {
+				found = true
+			}
+			for _, idx := range x.Indices {
+				walkExpr(idx)
+			}
+		}
+	}
+	var walkStmts func(ss []lang.Stmt)
+	walkStmts = func(ss []lang.Stmt) {
+		for _, st := range ss {
+			switch x := st.(type) {
+			case *lang.AssignStmt:
+				walkExpr(x.RHS)
+				if len(x.LHS.Indices) > 0 && an.Marked(accessSig(x.LHS.Name, x.LHS.Indices, true)) {
+					found = true
+				}
+			case *lang.IfStmt:
+				walkExpr(x.Cond.L)
+				walkExpr(x.Cond.R)
+				walkStmts(x.Then)
+				walkStmts(x.Else)
+			case *lang.ForStmt:
+				walkStmts(x.Body)
+			}
+		}
+	}
+	walkStmts([]lang.Stmt{s})
+	return found
+}

@@ -1,0 +1,222 @@
+package compiler
+
+import (
+	"fmt"
+
+	"fuzzybarrier/internal/ir"
+	"fuzzybarrier/internal/lang"
+)
+
+// This file implements the statement-level transformations the paper uses
+// to enlarge barrier regions:
+//
+//   - loop distribution (Section 4, Figure 5): a loop with several
+//     statements is divided into multiple loops so that statements not
+//     involved in cross-processor dependences form whole loops that can
+//     live inside the barrier region;
+//
+//   - loop unrolling (Sections 7.2 and 7.3, Figures 9-11): unrolling the
+//     sequential loop exposes one barrier per original iteration
+//     (enforcing lexically forward dependences, Figure 10) and makes
+//     iteration counts divisible by the processor count (Figure 11).
+
+// DistributeLoop applies loop distribution to a loop whose body is a list
+// of assignment statements: it returns one loop per statement, in original
+// order. Distribution is legal when no statement depends backward on a
+// later statement through an array; the check here is array-granular and
+// conservative.
+func DistributeLoop(f *lang.ForStmt) ([]*lang.ForStmt, error) {
+	if len(f.Body) < 2 {
+		return nil, fmt.Errorf("compiler: loop body has %d statements; nothing to distribute", len(f.Body))
+	}
+	reads := make([]map[string]bool, len(f.Body))
+	writes := make([]map[string]bool, len(f.Body))
+	for i, s := range f.Body {
+		r, w, err := arraySets(s)
+		if err != nil {
+			return nil, err
+		}
+		reads[i], writes[i] = r, w
+	}
+	// A backward dependence (statement i touching an array a later
+	// statement writes) would be reversed by distribution.
+	for i := range f.Body {
+		for j := i + 1; j < len(f.Body); j++ {
+			for arr := range writes[j] {
+				if reads[i][arr] || writes[i][arr] {
+					return nil, fmt.Errorf("compiler: distribution illegal: statement %d accesses array %q written by later statement %d", i, arr, j)
+				}
+			}
+		}
+	}
+	out := make([]*lang.ForStmt, len(f.Body))
+	for i, s := range f.Body {
+		out[i] = &lang.ForStmt{
+			Var: f.Var, From: f.From, Rel: f.Rel, To: f.To, Step: f.Step, Par: f.Par,
+			Body: []lang.Stmt{s},
+		}
+	}
+	return out, nil
+}
+
+// arraySets collects the arrays a statement reads and writes.
+func arraySets(s lang.Stmt) (reads, writes map[string]bool, err error) {
+	reads = make(map[string]bool)
+	writes = make(map[string]bool)
+	var walkExpr func(e lang.Expr)
+	walkExpr = func(e lang.Expr) {
+		switch x := e.(type) {
+		case lang.BinExpr:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case lang.IndexExpr:
+			reads[x.Name] = true
+			for _, idx := range x.Indices {
+				walkExpr(idx)
+			}
+		}
+	}
+	var walk func(st lang.Stmt) error
+	walk = func(st lang.Stmt) error {
+		switch x := st.(type) {
+		case *lang.AssignStmt:
+			walkExpr(x.RHS)
+			if len(x.LHS.Indices) > 0 {
+				writes[x.LHS.Name] = true
+				for _, idx := range x.LHS.Indices {
+					walkExpr(idx)
+				}
+			}
+		case *lang.IfStmt:
+			walkExpr(x.Cond.L)
+			walkExpr(x.Cond.R)
+			for _, t := range append(append([]lang.Stmt{}, x.Then...), x.Else...) {
+				if err := walk(t); err != nil {
+					return err
+				}
+			}
+		case *lang.ForStmt:
+			for _, t := range x.Body {
+				if err := walk(t); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("compiler: unsupported statement %T in distribution analysis", st)
+		}
+		return nil
+	}
+	if err := walk(s); err != nil {
+		return nil, nil, err
+	}
+	return reads, writes, nil
+}
+
+// substVar replaces every reference to variable v in an expression with
+// v+delta.
+func substVar(e lang.Expr, v string, delta int64) lang.Expr {
+	switch x := e.(type) {
+	case lang.VarExpr:
+		if x.Name == v {
+			if delta == 0 {
+				return x
+			}
+			return lang.BinExpr{Op: ir.Add, L: x, R: lang.NumExpr{Val: delta}}
+		}
+		return x
+	case lang.BinExpr:
+		return lang.BinExpr{Op: x.Op, L: substVar(x.L, v, delta), R: substVar(x.R, v, delta)}
+	case lang.IndexExpr:
+		out := lang.IndexExpr{Name: x.Name, Indices: make([]lang.Expr, len(x.Indices))}
+		for i, idx := range x.Indices {
+			out.Indices[i] = substVar(idx, v, delta)
+		}
+		return out
+	default:
+		return e
+	}
+}
+
+// substStmt rewrites a statement with v replaced by v+delta.
+func substStmt(s lang.Stmt, v string, delta int64) (lang.Stmt, error) {
+	switch x := s.(type) {
+	case *lang.AssignStmt:
+		lhs := lang.LValue{Name: x.LHS.Name, Indices: make([]lang.Expr, len(x.LHS.Indices))}
+		for i, idx := range x.LHS.Indices {
+			lhs.Indices[i] = substVar(idx, v, delta)
+		}
+		return &lang.AssignStmt{LHS: lhs, RHS: substVar(x.RHS, v, delta)}, nil
+	case *lang.IfStmt:
+		out := &lang.IfStmt{Cond: lang.CondExpr{
+			L: substVar(x.Cond.L, v, delta), Rel: x.Cond.Rel, R: substVar(x.Cond.R, v, delta),
+		}}
+		for _, t := range x.Then {
+			st, err := substStmt(t, v, delta)
+			if err != nil {
+				return nil, err
+			}
+			out.Then = append(out.Then, st)
+		}
+		for _, t := range x.Else {
+			st, err := substStmt(t, v, delta)
+			if err != nil {
+				return nil, err
+			}
+			out.Else = append(out.Else, st)
+		}
+		return out, nil
+	case *lang.ForStmt:
+		if x.Var == v {
+			return nil, fmt.Errorf("compiler: inner loop shadows unrolled variable %q", v)
+		}
+		out := &lang.ForStmt{
+			Var: x.Var, From: substVar(x.From, v, delta), Rel: x.Rel,
+			To: substVar(x.To, v, delta), Step: x.Step, Par: x.Par,
+		}
+		for _, t := range x.Body {
+			st, err := substStmt(t, v, delta)
+			if err != nil {
+				return nil, err
+			}
+			out.Body = append(out.Body, st)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("compiler: unsupported statement %T in unrolling", s)
+	}
+}
+
+// UnrollSeq unrolls a sequential loop by the given factor: the body is
+// replicated with the loop variable offset by 0, step, 2·step, ... and the
+// loop step multiplied by the factor. The trip count (which must be a
+// compile-time constant under params) must be divisible by the factor.
+func UnrollSeq(f *lang.ForStmt, factor int, params map[string]int64) (*lang.ForStmt, error) {
+	if f.Par {
+		return nil, fmt.Errorf("compiler: UnrollSeq on parallel loop over %q", f.Var)
+	}
+	if factor < 2 {
+		return nil, fmt.Errorf("compiler: unroll factor %d < 2", factor)
+	}
+	trips, err := tripValues(f, params)
+	if err != nil {
+		return nil, err
+	}
+	if len(trips)%factor != 0 {
+		return nil, fmt.Errorf("compiler: trip count %d not divisible by unroll factor %d", len(trips), factor)
+	}
+	out := &lang.ForStmt{
+		Var: f.Var, From: f.From, Rel: f.Rel, To: f.To,
+		Step: f.Step * int64(factor), Par: false,
+	}
+	for u := 0; u < factor; u++ {
+		delta := int64(u) * f.Step
+		for _, s := range f.Body {
+			st, err := substStmt(s, f.Var, delta)
+			if err != nil {
+				return nil, err
+			}
+			out.Body = append(out.Body, st)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// DynamicBarrier is a split-phase fuzzy barrier whose membership can
+// change between (and during) phases: streams may Register to join and
+// ArriveAndLeave to depart. It is the runtime analog of Section 5's mask
+// manipulation — "disjoint subsets of a group of streams that share the
+// same barrier can synchronize by manipulating their masks" — and of the
+// paper's dynamically created streams: a spawned stream Registers with
+// its parent's barrier, and a finished stream deregisters instead of
+// dragging the group's synchronizations forever.
+//
+// The usual split-phase contract applies per member: Arrive once per
+// phase, Wait before the next Arrive. A member that will produce nothing
+// further must leave with ArriveAndLeave rather than simply stopping,
+// otherwise the remaining members deadlock (exactly like a halted
+// processor whose mask bit is still set in the hardware).
+type DynamicBarrier struct {
+	// state packs the phase arrival count (high 32 bits) and the current
+	// membership (low 32 bits); updates are CAS loops so that the
+	// "last arrival completes the phase and resets the count" transition
+	// is atomic against concurrent joins and leaves.
+	state atomic.Uint64
+	epoch atomic.Int64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// SpinLimit bounds the Wait fast path; 0 means DefaultSpinLimit.
+	SpinLimit int
+
+	stats RuntimeStats
+}
+
+func packState(count, members uint32) uint64 { return uint64(count)<<32 | uint64(members) }
+
+func unpackState(s uint64) (count, members uint32) {
+	return uint32(s >> 32), uint32(s)
+}
+
+// NewDynamicBarrier creates a dynamic barrier with the given initial
+// membership (>= 1).
+func NewDynamicBarrier(initial int) *DynamicBarrier {
+	if initial < 1 {
+		panic(fmt.Sprintf("core: dynamic barrier initial membership %d < 1", initial))
+	}
+	b := &DynamicBarrier{}
+	b.state.Store(packState(0, uint32(initial)))
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Members returns the current membership.
+func (b *DynamicBarrier) Members() int {
+	_, m := unpackState(b.state.Load())
+	return int(m)
+}
+
+// Epoch returns the number of completed phases.
+func (b *DynamicBarrier) Epoch() int64 { return b.epoch.Load() }
+
+// Stats returns the barrier's counters (same shape as FuzzyBarrier).
+func (b *DynamicBarrier) Stats() (syncs, arrivals, fastWaits, spinWaits, blocks, spinIters int64) {
+	return b.stats.Syncs.Load(), b.stats.Arrivals.Load(), b.stats.FastWaits.Load(),
+		b.stats.SpinWaits.Load(), b.stats.Blocks.Load(), b.stats.SpinIters.Load()
+}
+
+// complete publishes a finished phase.
+func (b *DynamicBarrier) complete() {
+	b.stats.Syncs.Add(1)
+	b.mu.Lock()
+	b.epoch.Add(1)
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Register adds one member. The new member has not arrived at the current
+// phase, so the phase now requires one more arrival — register from a
+// stream that is itself between Wait and Arrive (or before starting), the
+// same discipline as allocating a barrier when a stream is spawned.
+func (b *DynamicBarrier) Register() {
+	for {
+		s := b.state.Load()
+		c, m := unpackState(s)
+		if m == 0 {
+			panic("core: Register on a drained dynamic barrier")
+		}
+		if b.state.CompareAndSwap(s, packState(c, m+1)) {
+			return
+		}
+	}
+}
+
+// Arrive signals readiness for the current phase and returns the ticket
+// for Wait. If this arrival is the last outstanding one, the phase
+// completes.
+func (b *DynamicBarrier) Arrive() Phase {
+	b.stats.Arrivals.Add(1)
+	e := b.epoch.Load()
+	for {
+		s := b.state.Load()
+		c, m := unpackState(s)
+		if m == 0 || c >= m {
+			panic(fmt.Sprintf("core: Arrive with %d arrivals of %d members (protocol violation)", c, m))
+		}
+		if c+1 == m {
+			if b.state.CompareAndSwap(s, packState(0, m)) {
+				b.complete()
+				return Phase{epoch: e}
+			}
+			continue
+		}
+		if b.state.CompareAndSwap(s, packState(c+1, m)) {
+			return Phase{epoch: e}
+		}
+	}
+}
+
+// ArriveAndLeave deregisters the caller. Its pending arrival obligation
+// disappears with it: if everyone else has already arrived, the phase
+// completes. The caller must not Wait (it is no longer a member) and must
+// not use the barrier again without Register.
+func (b *DynamicBarrier) ArriveAndLeave() {
+	b.stats.Arrivals.Add(1)
+	for {
+		s := b.state.Load()
+		c, m := unpackState(s)
+		if m == 0 {
+			panic("core: ArriveAndLeave on a drained dynamic barrier")
+		}
+		if m == 1 {
+			// Last member out: the barrier is drained.
+			if b.state.CompareAndSwap(s, packState(0, 0)) {
+				b.complete()
+				return
+			}
+			continue
+		}
+		if c == m-1 {
+			// Everyone else already arrived; our departure completes the
+			// phase for them.
+			if b.state.CompareAndSwap(s, packState(0, m-1)) {
+				b.complete()
+				return
+			}
+			continue
+		}
+		if b.state.CompareAndSwap(s, packState(c, m-1)) {
+			return
+		}
+	}
+}
+
+// TryWait reports whether the phase ticket's synchronization completed.
+func (b *DynamicBarrier) TryWait(p Phase) bool {
+	return b.epoch.Load() > p.epoch
+}
+
+// Wait blocks until the ticket's phase completes, spinning briefly first
+// (the split-phase fast path).
+func (b *DynamicBarrier) Wait(p Phase) {
+	if b.epoch.Load() > p.epoch {
+		b.stats.FastWaits.Add(1)
+		return
+	}
+	limit := b.SpinLimit
+	if limit <= 0 {
+		limit = DefaultSpinLimit
+	}
+	for i := 0; i < limit; i++ {
+		if b.epoch.Load() > p.epoch {
+			b.stats.SpinWaits.Add(1)
+			b.stats.SpinIters.Add(int64(i + 1))
+			return
+		}
+	}
+	b.stats.SpinIters.Add(int64(limit))
+	b.stats.Blocks.Add(1)
+	b.mu.Lock()
+	for b.epoch.Load() <= p.epoch {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Await is the point-barrier convenience: Arrive immediately followed by
+// Wait.
+func (b *DynamicBarrier) Await() {
+	b.Wait(b.Arrive())
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// FuzzyBarrier is the runtime (software) form of the fuzzy barrier: a
+// split-phase barrier for a fixed group of participants.
+//
+//	ph := b.Arrive()   // "I have exited the preceding non-barrier region"
+//	...                // barrier-region work: runs while others catch up
+//	b.Wait(ph)         // "I am about to exit the barrier region"
+//
+// Arrive never blocks. Wait blocks only if some participant has not yet
+// arrived at the same phase — which is exactly the condition under which
+// the paper's hardware stalls the processor. Calling Wait immediately
+// after Arrive degenerates to a conventional (point) barrier, which is how
+// the baselines for experiment E1 are built.
+//
+// The implementation is a central-counter epoch barrier: an atomic
+// arrival counter plus an epoch number. The fast path of Wait spins a
+// bounded number of times (SpinLimit) before blocking on a condition
+// variable; blocking is counted in Stats because the Encore measurement
+// attributes the cost of conventional barriers to exactly these
+// context-save/restore events (Section 8).
+type FuzzyBarrier struct {
+	n     int64
+	tag   Tag // identity, for multi-barrier setups (Section 5); informational
+	count atomic.Int64
+	epoch atomic.Int64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// SpinLimit bounds the Wait fast path; 0 means DefaultSpinLimit.
+	SpinLimit int
+
+	stats RuntimeStats
+}
+
+// RuntimeStats counts the events that matter for the Section 8
+// measurement.
+type RuntimeStats struct {
+	Syncs     atomic.Int64 // completed barrier episodes
+	Arrivals  atomic.Int64 // total Arrive calls
+	FastWaits atomic.Int64 // Waits satisfied without spinning (already synced)
+	SpinWaits atomic.Int64 // Waits satisfied during the spin phase
+	Blocks    atomic.Int64 // Waits that had to block (the expensive case)
+	SpinIters atomic.Int64 // total spin iterations across all Waits
+}
+
+// DefaultSpinLimit is the spin budget of Wait before it blocks.
+const DefaultSpinLimit = 128
+
+// Phase is the ticket returned by Arrive and consumed by Wait.
+type Phase struct {
+	epoch int64
+}
+
+// NewFuzzyBarrier creates a fuzzy barrier for n participants (n >= 1).
+func NewFuzzyBarrier(n int) *FuzzyBarrier {
+	if n < 1 {
+		panic(fmt.Sprintf("core: fuzzy barrier size %d < 1", n))
+	}
+	b := &FuzzyBarrier{n: int64(n)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// NewTaggedFuzzyBarrier creates a fuzzy barrier carrying a logical tag,
+// for use with the Section 5 allocator.
+func NewTaggedFuzzyBarrier(n int, tag Tag) *FuzzyBarrier {
+	b := NewFuzzyBarrier(n)
+	b.tag = tag
+	return b
+}
+
+// N returns the number of participants.
+func (b *FuzzyBarrier) N() int { return int(b.n) }
+
+// Tag returns the barrier's logical identity (TagNone if untagged).
+func (b *FuzzyBarrier) Tag() Tag { return b.tag }
+
+// Stats returns a snapshot of the barrier's counters.
+func (b *FuzzyBarrier) Stats() (syncs, arrivals, fastWaits, spinWaits, blocks, spinIters int64) {
+	return b.stats.Syncs.Load(), b.stats.Arrivals.Load(), b.stats.FastWaits.Load(),
+		b.stats.SpinWaits.Load(), b.stats.Blocks.Load(), b.stats.SpinIters.Load()
+}
+
+// Arrive signals that the caller is ready to synchronize and returns the
+// phase ticket to pass to Wait. It never blocks.
+//
+// Every participant must call Arrive exactly once per phase, and must call
+// Wait before its next Arrive. (The paper's analog: a stream must cross
+// barrier k before reaching barrier k+1; violating that is the Figure 2
+// invalid-branch bug.)
+func (b *FuzzyBarrier) Arrive() Phase {
+	b.stats.Arrivals.Add(1)
+	e := b.epoch.Load()
+	if b.count.Add(1) == b.n {
+		// Last arriver completes the episode: reset the counter for the
+		// next phase, then publish the new epoch. No participant can
+		// arrive for the next phase before the epoch is published,
+		// because its Wait for this phase has not returned yet.
+		b.count.Store(0)
+		b.stats.Syncs.Add(1)
+		b.mu.Lock()
+		b.epoch.Add(1)
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+	return Phase{epoch: e}
+}
+
+// TryWait reports whether synchronization for the given phase has
+// occurred, without blocking — the software analog of the hardware's
+// "processor is in the barrier region and has synchronized" state.
+func (b *FuzzyBarrier) TryWait(p Phase) bool {
+	return b.epoch.Load() > p.epoch
+}
+
+// Wait blocks until every participant has arrived at phase p. It spins
+// briefly before blocking so that well-balanced regions never pay for a
+// context switch.
+func (b *FuzzyBarrier) Wait(p Phase) {
+	if b.epoch.Load() > p.epoch {
+		b.stats.FastWaits.Add(1)
+		return
+	}
+	limit := b.SpinLimit
+	if limit <= 0 {
+		limit = DefaultSpinLimit
+	}
+	for i := 0; i < limit; i++ {
+		if b.epoch.Load() > p.epoch {
+			b.stats.SpinWaits.Add(1)
+			b.stats.SpinIters.Add(int64(i + 1))
+			return
+		}
+	}
+	b.stats.SpinIters.Add(int64(limit))
+	b.stats.Blocks.Add(1)
+	b.mu.Lock()
+	for b.epoch.Load() <= p.epoch {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Await is the conventional point barrier: Arrive immediately followed by
+// Wait, i.e. a fuzzy barrier with an empty barrier region.
+func (b *FuzzyBarrier) Await() {
+	b.Wait(b.Arrive())
+}
+
+// Epoch returns the number of completed synchronization episodes.
+func (b *FuzzyBarrier) Epoch() int64 { return b.epoch.Load() }

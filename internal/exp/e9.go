@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+
+	"fuzzybarrier/internal/core"
+	"fuzzybarrier/internal/isa"
+	"fuzzybarrier/internal/machine"
+	"fuzzybarrier/internal/trace"
+)
+
+// E9InvalidBranch reproduces Figure 2: processor P0 branches directly
+// from barrier1 into barrier2, crossing both with a single
+// synchronization, which deadlocks its partner at barrier2. The
+// experiment shows (a) the static validator rejecting the program, (b)
+// the simulator detecting the resulting deadlock, and (c) the
+// synchronization-count mismatch the paper predicts.
+func E9InvalidBranch() (*trace.Table, error) {
+	b0 := isa.NewBuilder("fig2-invalid")
+	b0.BarrierInit(1, uint64(core.MaskOf(1)))
+	b0.InBarrier().Nop().Br("bar2")
+	b0.InNonBarrier().Work(10)
+	b0.InBarrier().Label("bar2").Nop().Nop()
+	b0.InNonBarrier().Halt()
+	p0, err := b0.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	b1 := isa.NewBuilder("fig2-partner")
+	b1.BarrierInit(1, uint64(core.MaskOf(0)))
+	b1.InBarrier().Nop()
+	b1.InNonBarrier().Work(10)
+	b1.InBarrier().Nop().Nop()
+	b1.InNonBarrier().Halt()
+	p1, err := b1.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	t := trace.NewTable(
+		"E9: invalid branch between barriers (Figure 2)",
+		"check", "outcome",
+	)
+	verr := p0.Validate(false)
+	switch {
+	case verr == nil:
+		t.AddRow("static validation", "MISSED (unexpected)")
+	case errors.Is(verr, isa.ErrInvalidBranch):
+		t.AddRow("static validation", "rejected: cross-barrier branch detected")
+	default:
+		t.AddRow("static validation", fmt.Sprintf("rejected (other): %v", verr))
+	}
+	if err := p1.Validate(false); err != nil {
+		return nil, fmt.Errorf("partner program should be valid: %w", err)
+	}
+	t.AddRow("partner validation", "accepted")
+
+	m := machine.New(machine.Config{Procs: 2, Mem: simpleMem(2, 128), MaxCycles: 100_000})
+	if err := m.Load(0, p0); err != nil {
+		return nil, err
+	}
+	if err := m.Load(1, p1); err != nil {
+		return nil, err
+	}
+	res, runErr := m.Run()
+	switch {
+	case errors.Is(runErr, machine.ErrDeadlock):
+		t.AddRow("simulation", "deadlock detected (P1 waits forever at barrier2)")
+	case runErr != nil:
+		t.AddRow("simulation", fmt.Sprintf("failed differently: %v", runErr))
+	default:
+		t.AddRow("simulation", "completed (unexpected)")
+	}
+	if res != nil && len(res.Procs) == 2 {
+		t.AddRow("P0 synchronizations", res.Procs[0].Syncs)
+		t.AddRow("P1 synchronizations", res.Procs[1].Syncs)
+		t.AddRow("P0 halted (crossed both barriers)", res.Procs[0].Halted)
+		t.AddRow("P1 halted", res.Procs[1].Halted)
+		if res.Procs[0].Halted && !res.Procs[1].Halted {
+			t.AddNote("P0 crossed both barriers on a single synchronization while P1 deadlocked at barrier2 — the Figure 2 failure")
+		} else {
+			t.AddNote("WARNING: expected P0 to run to completion and P1 to deadlock")
+		}
+	}
+	return t, nil
+}

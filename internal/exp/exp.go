@@ -1,0 +1,106 @@
+// Package exp regenerates the paper's evaluation: one function per table
+// or figure (see DESIGN.md's per-experiment index, E1..E11). Each
+// experiment returns a trace.Table whose rows are the series the paper
+// reports; EXPERIMENTS.md records the expected shapes next to the paper's
+// numbers.
+//
+// Simulator-based experiments are fully deterministic. Runtime
+// (goroutine) measurements appear only in bench_test.go, because
+// wall-clock numbers on a time-shared scheduler are not table-stable —
+// the repro note for this paper calls out exactly that hazard.
+package exp
+
+import (
+	"fmt"
+
+	"fuzzybarrier/internal/isa"
+	"fuzzybarrier/internal/machine"
+	"fuzzybarrier/internal/mem"
+	"fuzzybarrier/internal/trace"
+)
+
+// Experiment identifies one reproducible table/figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func() (*trace.Table, error)
+}
+
+// All returns the experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Sync cost vs. barrier-region size (Section 8)", E1SyncCostVsRegionSize},
+		{"E2", "Software vs. hardware barrier scaling and hot spots (Section 1)", E2BarrierScaling},
+		{"E3", "Non-barrier region shrinking by reordering (Figure 4)", E3RegionReordering},
+		{"E4", "Loop distribution enlarges barrier regions (Figure 5)", E4LoopDistribution},
+		{"E5", "If-statements in barrier regions (Figure 7)", E5VariableLengthStreams},
+		{"E6", "Lexically forward dependences under drift (Figures 9-10)", E6LexicallyForward},
+		{"E7", "Static scheduling with rotating remainder (Figure 11)", E7StaticScheduling},
+		{"E8", "Run-time scheduling of loop iterations (Figure 12)", E8RuntimeScheduling},
+		{"E9", "Invalid branch between barriers (Figure 2)", E9InvalidBranch},
+		{"E10", "Stall probability vs. region length (Section 2)", E10StallProbability},
+		{"E11", "Multiple barriers and the N-1 bound (Section 5, Figure 6)", E11MultipleBarriers},
+		{"E12", "Interrupts in barrier regions (Section 9 future work, extension)", E12InterruptTolerance},
+		{"E13", "Procedure calls from barrier regions (Section 9 future work, extension)", E13ProcedureCalls},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs returns all experiment IDs in order.
+func IDs() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// simpleMem is a fast conflict-free memory configuration.
+func simpleMem(procs, words int) mem.Config {
+	return mem.Config{
+		Words: words, Procs: procs,
+		HitLatency: 1, MissLatency: 1, Modules: procs, ModuleBusy: 1,
+	}
+}
+
+// runPrograms loads one program per processor and runs to completion.
+func runPrograms(cfg machine.Config, progs []*isa.Program) (*machine.Machine, *machine.Result, error) {
+	cfg.Procs = len(progs)
+	m := machine.New(cfg)
+	for p, prog := range progs {
+		if err := m.Load(p, prog); err != nil {
+			return nil, nil, err
+		}
+	}
+	res, err := m.Run()
+	if err != nil {
+		return m, res, err
+	}
+	return m, res, nil
+}
+
+// perIter divides a total by an iteration count, guarding zero.
+func perIter(total int64, iters int) float64 {
+	if iters == 0 {
+		return 0
+	}
+	return float64(total) / float64(iters)
+}
+
+// must panics on error — used only for statically-correct workload
+// construction inside experiments.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(fmt.Sprintf("exp: workload construction failed: %v", err))
+	}
+	return v
+}

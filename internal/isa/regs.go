@@ -1,0 +1,36 @@
+package isa
+
+// This file describes each instruction's register effects, the inputs a
+// post-codegen scheduler needs: machine-level reordering must respect not
+// only the program's data flow but also the *register reuse* the code
+// generator introduced — which is exactly why Section 4 prefers
+// reordering at the intermediate-code level.
+
+// DefReg returns the register the instruction writes, if any.
+func (in Instr) DefReg() (Reg, bool) {
+	switch in.Op {
+	case ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR, SLT,
+		LDI, MOV, ADDI, SUBI, MULI, DIVI, LD, FAA:
+		return in.Rd, true
+	}
+	return 0, false
+}
+
+// UseRegs returns the registers the instruction reads.
+func (in Instr) UseRegs() []Reg {
+	switch in.Op {
+	case ADD, SUB, MUL, DIV, MOD, AND, OR, XOR, SHL, SHR, SLT:
+		return []Reg{in.Rs, in.Rt}
+	case MOV, ADDI, SUBI, MULI, DIVI, LD, WORKR:
+		return []Reg{in.Rs}
+	case ST, FAA:
+		return []Reg{in.Rs, in.Rt}
+	case BEQ, BNE, BLT, BLE, BGT, BGE:
+		return []Reg{in.Rs, in.Rt}
+	}
+	return nil
+}
+
+// TouchesMemory reports whether the instruction reads or writes shared
+// memory (the conservative reorder barrier class).
+func (in Instr) TouchesMemory() bool { return in.Op.IsMemory() }

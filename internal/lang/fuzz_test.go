@@ -1,0 +1,32 @@
+package lang
+
+import "testing"
+
+// FuzzParse exercises the front end on arbitrary text: never panic, and
+// anything accepted must render and re-parse to a stable form.
+func FuzzParse(f *testing.F) {
+	f.Add(`int P[4][4];
+for (k=1; k<=20; k++) do seq
+  for (i=1; i<=2; i++) do par { P[i][1] = P[i][2] + 1; }`)
+	f.Add(`int a[2][2];
+for (i=1; i<=1; i++) do seq
+  for (j=1; j<=1; j++) do par { if (j < 2) then a[1][1] = 1; else a[1][1] = 2; }`)
+	f.Add(`// comment
+int a[3][3]; /* c2 */
+for (i=1; i<9; i+=2) do seq
+  for (j=1; j<=2; j++) do par { a[j][1] = -(j+1)*2; }`)
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := p.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered program rejected: %v\n%s", err, rendered)
+		}
+		if got := p2.String(); got != rendered {
+			t.Fatalf("rendering unstable:\n%s\nvs\n%s", rendered, got)
+		}
+	})
+}

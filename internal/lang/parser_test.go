@@ -1,0 +1,225 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"fuzzybarrier/internal/ir"
+)
+
+func TestParsePoisson(t *testing.T) {
+	src := `
+/* Poisson solver */
+int P[4][4];
+for (k=1; k<=20; k++) do seq
+  for (i=1; i<=2; i++) do par
+    for (j=1; j<=2; j++) do par {
+      P[i][j] = (P[i][j+1] + P[i][j-1] + P[i+1][j] + P[i-1][j]) / 4;
+    }
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Arrays) != 1 || p.Arrays[0].Name != "P" || p.Arrays[0].Size() != 16 {
+		t.Fatalf("arrays = %+v", p.Arrays)
+	}
+	outer, ok := p.Body[0].(*ForStmt)
+	if !ok || outer.Par || outer.Var != "k" || outer.Rel != ir.LE {
+		t.Fatalf("outer = %+v", p.Body[0])
+	}
+	mid := outer.Body[0].(*ForStmt)
+	if !mid.Par || mid.Var != "i" {
+		t.Fatalf("mid = %+v", mid)
+	}
+	inner := mid.Body[0].(*ForStmt)
+	if !inner.Par || inner.Var != "j" {
+		t.Fatalf("inner = %+v", inner)
+	}
+	asg := inner.Body[0].(*AssignStmt)
+	if asg.LHS.Name != "P" || len(asg.LHS.Indices) != 2 {
+		t.Fatalf("assign lhs = %+v", asg.LHS)
+	}
+	div, ok := asg.RHS.(BinExpr)
+	if !ok || div.Op != ir.Div {
+		t.Fatalf("rhs = %+v", asg.RHS)
+	}
+}
+
+func TestParseIfElse(t *testing.T) {
+	src := `
+int a[4][4];
+for (i=1; i<=3; i++) do seq
+  for (j=1; j<=3; j++) do par {
+    if (j < 2) then a[i][j] = 1; else a[i][j] = 2;
+  }
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := p.Body[0].(*ForStmt).Body[0].(*ForStmt)
+	iff := inner.Body[0].(*IfStmt)
+	if iff.Cond.Rel != ir.LT || len(iff.Then) != 1 || len(iff.Else) != 1 {
+		t.Fatalf("if = %+v", iff)
+	}
+}
+
+func TestParseSteppedLoop(t *testing.T) {
+	src := `
+int a[4][4];
+for (j=1; j<10; j+=2) do seq
+  for (i=1; i<=2; i++) do par {
+    a[i][1] = a[i][1] + j;
+  }
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := p.Body[0].(*ForStmt)
+	if outer.Step != 2 || outer.Rel != ir.LT {
+		t.Errorf("step = %d rel = %v", outer.Step, outer.Rel)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	src := `
+int a[2][2];
+for (i=1; i<=1; i++) do seq
+  for (j=1; j<=1; j++) do par {
+    a[1][1] = 2 + 3 * 4 - 6 / 2;
+  }
+`
+	p := MustParse(src)
+	asg := p.Body[0].(*ForStmt).Body[0].(*ForStmt).Body[0].(*AssignStmt)
+	// Evaluate the constant expression: 2 + 12 - 3 = 11.
+	var eval func(e Expr) int64
+	eval = func(e Expr) int64 {
+		switch x := e.(type) {
+		case NumExpr:
+			return x.Val
+		case BinExpr:
+			l, r := eval(x.L), eval(x.R)
+			switch x.Op {
+			case ir.Add:
+				return l + r
+			case ir.Sub:
+				return l - r
+			case ir.Mul:
+				return l * r
+			case ir.Div:
+				return l / r
+			}
+		}
+		t.Fatalf("unexpected expr %T", e)
+		return 0
+	}
+	if got := eval(asg.RHS); got != 11 {
+		t.Errorf("2+3*4-6/2 = %d, want 11", got)
+	}
+}
+
+func TestParseUnaryMinusAndParens(t *testing.T) {
+	src := `
+int a[2][2];
+for (i=1; i<=1; i++) do seq
+  for (j=1; j<=1; j++) do par {
+    a[1][1] = -(3 + 4);
+  }
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+// line comment
+int a[2][2]; /* block
+   comment */
+for (i=1; i<=1; i++) do seq
+  for (j=1; j<=1; j++) do par { a[1][1] = 0; }
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing semicolon":     `int a[2][2]  for (i=1;i<=1;i++) { a[1][1]=0; }`,
+		"bad dimension":         `int a[x][2];`,
+		"zero dimension":        `int a[0][2];`,
+		"scalar decl":           `int a;`,
+		"mismatched loop var":   `int a[2][2]; for (i=1; j<=1; i++) do seq { a[1][1]=0; }`,
+		"mismatched update var": `int a[2][2]; for (i=1; i<=1; j++) do seq { a[1][1]=0; }`,
+		"bad do mode":           `int a[2][2]; for (i=1; i<=1; i++) do zig { a[1][1]=0; }`,
+		"unterminated block":    `int a[2][2]; for (i=1; i<=1; i++) do seq { a[1][1]=0;`,
+		"unterminated comment":  `/* forever`,
+		"undeclared array":      `for (i=1; i<=1; i++) do seq { b[1][1]=0; }`,
+		"rank mismatch":         `int a[2][2]; for (i=1; i<=1; i++) do seq { a[1]=0; }`,
+		"array as scalar":       `int a[2][2]; for (i=1; i<=1; i++) do seq { a = 3; }`,
+		"array read as scalar":  `int a[2][2]; for (i=1; i<=1; i++) do seq { a[1][1] = a; }`,
+		"negative step":         `int a[2][2]; for (i=1; i<=1; i+=0) do seq { a[1][1]=0; }`,
+		"garbage char":          `int a[2][2]; @`,
+		"missing expr":          `int a[2][2]; for (i=1; i<=; i++) do seq { a[1][1]=0; }`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: expected parse error for %q", name, src)
+		}
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	srcs := []string{
+		`int P[4][4];
+for (k=1; k<=20; k++) do seq
+  for (i=1; i<=2; i++) do par
+    for (j=1; j<=2; j++) do par {
+      P[i][j] = (P[i][j+1] + P[i][j-1] + P[i+1][j] + P[i-1][j]) / 4;
+    }`,
+		`int a[8][12];
+for (i=1; i<=10; i+=2) do seq
+  for (j=1; j<=6; j++) do par {
+    a[j][i] = a[j+1][i-1] + 2;
+    if (j < 3) then a[j][i] = 0; else a[j][i] = 1;
+  }`,
+	}
+	for _, src := range srcs {
+		p1 := MustParse(src)
+		rendered := p1.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v\nrendered:\n%s", err, rendered)
+		}
+		if got := p2.String(); got != rendered {
+			t.Errorf("render not stable:\nfirst:\n%s\nsecond:\n%s", rendered, got)
+		}
+	}
+}
+
+func TestArrayLookup(t *testing.T) {
+	p := MustParse(`int a[2][3];
+for (i=1; i<=1; i++) do seq
+  for (j=1; j<=1; j++) do par { a[1][1] = 0; }`)
+	d, ok := p.Array("a")
+	if !ok || d.Size() != 6 {
+		t.Errorf("array a = %+v, ok=%v", d, ok)
+	}
+	if _, ok := p.Array("zzz"); ok {
+		t.Error("nonexistent array found")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := BinExpr{Op: ir.Add, L: IndexExpr{Name: "a", Indices: []Expr{VarExpr{Name: "i"}}}, R: NumExpr{Val: 2}}
+	if got := e.String(); !strings.Contains(got, "a[i]") || !strings.Contains(got, "+") {
+		t.Errorf("expr string = %q", got)
+	}
+	lv := LValue{Name: "a", Indices: []Expr{NumExpr{Val: 1}, NumExpr{Val: 2}}}
+	if got := lv.String(); got != "a[1][2]" {
+		t.Errorf("lvalue string = %q", got)
+	}
+}

@@ -1,0 +1,500 @@
+// Package machine is a deterministic cycle-level simulator of the
+// prototype multiprocessor the paper targets: N RISC processors on a
+// common clock, each with a private copy of the fuzzy-barrier hardware
+// (internal/core.Unit) connected by broadcast ready lines, sharing a
+// memory system (internal/mem).
+//
+// Every cycle, each processor either issues one instruction, waits for a
+// multi-cycle instruction or memory access to complete, or stalls at the
+// end of a barrier region waiting for synchronization. At the end of each
+// cycle the barrier network evaluates the synchronization condition for
+// all processors simultaneously, exactly as the hardware's combinational
+// logic would.
+//
+// Determinism is the point: unlike wall-clock measurements on a real
+// multiprocessor (or on goroutines), stall cycles attributable to barrier
+// synchronization can be counted exactly, which is what the experiment
+// harness reports.
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"fuzzybarrier/internal/core"
+	"fuzzybarrier/internal/isa"
+	"fuzzybarrier/internal/mem"
+	"fuzzybarrier/internal/trace"
+)
+
+// Config describes a simulated machine.
+type Config struct {
+	// Procs is the number of processors (1..64).
+	Procs int
+	// Mem configures the shared-memory system. Mem.Procs is overridden
+	// with Procs.
+	Mem mem.Config
+	// MulLatency and DivLatency are the cycle costs of multiply and
+	// divide (defaults 3 and 8); all other ALU instructions take 1 cycle.
+	MulLatency int64
+	DivLatency int64
+	// PipelineDepth models instruction-completion lag: a processor's
+	// ready line rises PipelineDepth−1 cycles after it issues the first
+	// instruction of a barrier region, because the last non-barrier
+	// instruction is still in the pipe (Section 2's exit-vs-enter
+	// distinction). Depth 1 (default) is the non-pipelined machine where
+	// exiting one region and entering the next coincide.
+	PipelineDepth int64
+	// IssueWidth enables a simple VLIW/LIW issue mode (Section 9 notes
+	// the prototype "will be used for executing code in VLIW mode"): up
+	// to IssueWidth consecutive single-cycle ALU instructions with the
+	// same barrier-region bit issue in one cycle. Branches, memory
+	// operations, multi-cycle arithmetic and region transitions end a
+	// bundle. Default 1 (scalar issue).
+	IssueWidth int
+	// InterruptEvery, when > 0, preempts each processor for
+	// InterruptCost cycles after every InterruptEvery issued
+	// instructions (staggered per processor) — a deterministic model of
+	// the interrupts and traps Section 9 leaves as future work. RISC
+	// systems of the era used traps even for floating-point operations,
+	// so tolerance to them matters.
+	InterruptEvery int64
+	// InterruptCost is the preemption length in cycles (default 20 when
+	// InterruptEvery is set).
+	InterruptCost int64
+	// MaxCycles aborts runaway simulations (default 50,000,000).
+	MaxCycles int64
+	// Recorder, if non-nil, records per-cycle Gantt lanes and events.
+	Recorder *trace.Recorder
+}
+
+func (c *Config) normalize() {
+	if c.Procs <= 0 {
+		c.Procs = 1
+	}
+	if c.Procs > 64 {
+		c.Procs = 64
+	}
+	if c.MulLatency <= 0 {
+		c.MulLatency = 3
+	}
+	if c.DivLatency <= 0 {
+		c.DivLatency = 8
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 1
+	}
+	if c.IssueWidth <= 0 {
+		c.IssueWidth = 1
+	}
+	if c.InterruptEvery > 0 && c.InterruptCost <= 0 {
+		c.InterruptCost = 20
+	}
+	if c.MaxCycles <= 0 {
+		c.MaxCycles = 50_000_000
+	}
+	c.Mem.Procs = c.Procs
+}
+
+// callStackDepth bounds the per-processor CALL stack.
+const callStackDepth = 64
+
+// busyKind tags why a processor is occupied for multiple cycles.
+type busyKind byte
+
+const (
+	busyNone busyKind = iota
+	busyExec          // multi-cycle ALU op
+	busyMem           // memory access in flight
+	busyWork          // synthetic WORK
+	busyIrq           // interrupt/trap preemption
+)
+
+// processor is the per-CPU simulator state.
+type processor struct {
+	id        int
+	prog      *isa.Program
+	pc        int
+	regs      [isa.NumRegs]int64
+	halted    bool
+	fault     error
+	busyTil   int64 // next cycle at which an instruction may issue
+	busy      busyKind
+	inBar     bool  // marker-mode region membership
+	enterAt   int64 // pipelined: cycle at which the pending EnterBarrier fires (-1 none)
+	sinceIrq  int64 // instructions issued since the last interrupt
+	callStack []int // CALL return addresses
+
+	stats ProcStats
+}
+
+// ProcStats aggregates one processor's activity over a run.
+type ProcStats struct {
+	Instructions  int64 // instructions issued
+	BarrierInstrs int64 // of which barrier-region instructions
+	StallCycles   int64 // cycles stalled at a barrier-region exit
+	MemCycles     int64 // cycles waiting on memory
+	WorkCycles    int64 // cycles consumed by WORK
+	IrqCycles     int64 // cycles lost to injected interrupts
+	Syncs         int64 // barrier synchronizations completed
+	HaltCycle     int64 // cycle at which HALT issued (or end of run)
+	Halted        bool
+}
+
+// Machine is a configured simulator instance. Create with New, load one
+// program per processor, then Run.
+type Machine struct {
+	cfg   Config
+	mem   *mem.System
+	net   *core.Network
+	procs []*processor
+	cycle int64
+}
+
+// New creates a machine.
+func New(cfg Config) *Machine {
+	cfg.normalize()
+	m := &Machine{
+		cfg: cfg,
+		mem: mem.New(cfg.Mem),
+		net: core.NewNetwork(cfg.Procs),
+	}
+	m.procs = make([]*processor, cfg.Procs)
+	for i := range m.procs {
+		m.procs[i] = &processor{id: i, halted: true, enterAt: -1}
+	}
+	return m
+}
+
+// Mem exposes the shared memory system (for initialization and result
+// inspection).
+func (m *Machine) Mem() *mem.System { return m.mem }
+
+// Network exposes the barrier network (for inspection in tests).
+func (m *Machine) Network() *core.Network { return m.net }
+
+// Load assigns a program to processor p and resets its state. A processor
+// with no program stays halted and does not participate.
+func (m *Machine) Load(p int, prog *isa.Program) error {
+	if p < 0 || p >= len(m.procs) {
+		return fmt.Errorf("machine: processor %d out of range [0,%d)", p, len(m.procs))
+	}
+	if prog == nil || prog.Len() == 0 {
+		return fmt.Errorf("machine: empty program for processor %d", p)
+	}
+	pr := m.procs[p]
+	*pr = processor{id: p, prog: prog, enterAt: -1}
+	return nil
+}
+
+// SetReg presets a register before the run — how per-processor parameters
+// (the l, m of the paper's "Processor P_l,m") are passed in.
+func (m *Machine) SetReg(p int, r isa.Reg, v int64) error {
+	if p < 0 || p >= len(m.procs) {
+		return fmt.Errorf("machine: processor %d out of range [0,%d)", p, len(m.procs))
+	}
+	if r >= isa.NumRegs {
+		return fmt.Errorf("machine: register r%d out of range", r)
+	}
+	m.procs[p].regs[r] = v
+	return nil
+}
+
+// ErrDeadlock is wrapped by Run's error when the machine reaches a state
+// from which no processor can ever make progress — e.g. the Figure 2
+// invalid branch, or a barrier whose partner halted.
+var ErrDeadlock = errors.New("machine: barrier deadlock")
+
+// ErrMaxCycles is wrapped when the simulation exceeds Config.MaxCycles.
+var ErrMaxCycles = errors.New("machine: cycle limit exceeded")
+
+// Result summarizes a completed run.
+type Result struct {
+	Cycles     int64
+	Procs      []ProcStats
+	Mem        mem.Stats
+	Deadlocked bool
+	// Faults collects per-processor execution faults (bad address,
+	// divide by zero); a faulted processor halts, others continue.
+	Faults []error
+}
+
+// TotalStalls sums stall cycles across processors.
+func (r *Result) TotalStalls() int64 {
+	var s int64
+	for _, p := range r.Procs {
+		s += p.StallCycles
+	}
+	return s
+}
+
+// MaxStalls returns the worst single-processor stall count.
+func (r *Result) MaxStalls() int64 {
+	var s int64
+	for _, p := range r.Procs {
+		if p.StallCycles > s {
+			s = p.StallCycles
+		}
+	}
+	return s
+}
+
+// Syncs returns the maximum per-processor synchronization count (the
+// number of barrier episodes the slowest participant completed).
+func (r *Result) Syncs() int64 {
+	var s int64
+	for _, p := range r.Procs {
+		if p.Syncs > s {
+			s = p.Syncs
+		}
+	}
+	return s
+}
+
+// Run simulates until every loaded processor halts, a deadlock is
+// detected, or the cycle limit is hit. It can be called once per Machine.
+func (m *Machine) Run() (*Result, error) {
+	res := &Result{}
+	rec := m.cfg.Recorder
+	for {
+		if m.cycle >= m.cfg.MaxCycles {
+			m.finish(res)
+			return res, fmt.Errorf("%w: %d cycles", ErrMaxCycles, m.cfg.MaxCycles)
+		}
+		progress := false
+		allHalted := true
+		for _, p := range m.procs {
+			if p.halted {
+				continue
+			}
+			allHalted = false
+			if m.step(p) {
+				progress = true
+			}
+		}
+		if allHalted {
+			m.finish(res)
+			return res, nil
+		}
+		// Fire pipelined barrier entries whose delay elapsed. A pending
+		// entry is guaranteed future progress, so it also keeps the
+		// deadlock detector quiet until the line rises.
+		for _, p := range m.procs {
+			if p.enterAt < 0 {
+				continue
+			}
+			if m.cycle >= p.enterAt {
+				m.net.Unit(p.id).EnterBarrier()
+				p.enterAt = -1
+			}
+			progress = true
+		}
+		// Simultaneous synchronization detection.
+		before := m.snapshotStates()
+		m.net.Step()
+		for i, st := range m.snapshotStates() {
+			if st == core.StateSynced && before[i] != core.StateSynced {
+				progress = true
+				if rec.Enabled() {
+					rec.Mark(m.cycle, i, trace.KindSync)
+					rec.Eventf(m.cycle, i, "synchronized (tag=%d, epoch=%d)", m.net.Unit(i).Tag(), m.net.Unit(i).Syncs())
+				}
+			}
+		}
+		if !progress {
+			m.finish(res)
+			res.Deadlocked = true
+			return res, fmt.Errorf("%w at cycle %d: %s", ErrDeadlock, m.cycle, m.deadlockInfo())
+		}
+		m.cycle++
+	}
+}
+
+func (m *Machine) snapshotStates() []core.State {
+	out := make([]core.State, len(m.procs))
+	for i := range m.procs {
+		out[i] = m.net.Unit(i).State()
+	}
+	return out
+}
+
+func (m *Machine) deadlockInfo() string {
+	s := ""
+	for _, p := range m.procs {
+		u := m.net.Unit(p.id)
+		s += fmt.Sprintf("[P%d pc=%d state=%s ready=%v tag=%d halted=%v] ",
+			p.id, p.pc, u.State(), u.Ready(), u.Tag(), p.halted)
+	}
+	return s
+}
+
+func (m *Machine) finish(res *Result) {
+	res.Cycles = m.cycle
+	res.Mem = m.mem.Stats()
+	res.Procs = make([]ProcStats, len(m.procs))
+	for i, p := range m.procs {
+		p.stats.Syncs = m.net.Unit(i).Syncs()
+		p.stats.Halted = p.halted
+		if p.prog == nil {
+			p.stats.Halted = true
+		}
+		res.Procs[i] = p.stats
+		if p.fault != nil {
+			res.Faults = append(res.Faults, fmt.Errorf("P%d: %w", i, p.fault))
+		}
+	}
+}
+
+// step advances processor p by one cycle; it returns true if the
+// processor did anything other than stall.
+func (m *Machine) step(p *processor) bool {
+	rec := m.cfg.Recorder
+	u := m.net.Unit(p.id)
+
+	if p.busyTil > m.cycle {
+		switch p.busy {
+		case busyMem:
+			p.stats.MemCycles++
+			rec.Mark(m.cycle, p.id, trace.KindMemory)
+		case busyWork:
+			p.stats.WorkCycles++
+			rec.Mark(m.cycle, p.id, trace.KindWork)
+		case busyIrq:
+			p.stats.IrqCycles++
+			rec.Mark(m.cycle, p.id, trace.KindInterrupt)
+		default:
+			rec.Mark(m.cycle, p.id, trace.KindExec)
+		}
+		return true
+	}
+	p.busy = busyNone
+
+	if p.pc < 0 || p.pc >= p.prog.Len() {
+		p.fault = fmt.Errorf("machine: pc %d out of range [0,%d)", p.pc, p.prog.Len())
+		m.halt(p)
+		return true
+	}
+	in := p.prog.Code[p.pc]
+	inBarrier := m.instrInBarrier(p, in)
+
+	if inBarrier {
+		if u.State() == core.StateNonBarrier {
+			// Exiting the preceding non-barrier region. With a pipeline,
+			// the ready line rises only when that region's last
+			// instruction completes.
+			if m.cfg.PipelineDepth > 1 {
+				if p.enterAt < 0 {
+					p.enterAt = m.cycle + m.cfg.PipelineDepth - 1
+				}
+			} else {
+				u.EnterBarrier()
+			}
+		}
+		u.NoteBarrierInstr()
+		rec.Mark(m.cycle, p.id, trace.KindBarrier)
+	} else {
+		if p.enterAt >= 0 {
+			// The region was shorter than the pipeline: the ready line
+			// has not risen yet, so the processor cannot cross — it must
+			// wait for the delayed line and then for synchronization.
+			u.NoteStallCycle()
+			p.stats.StallCycles++
+			rec.Mark(m.cycle, p.id, trace.KindStall)
+			return false
+		}
+		if !u.TryCross() {
+			// End of barrier region reached before synchronization:
+			// stall (Section 2's Condition for Stalling).
+			u.NoteStallCycle()
+			p.stats.StallCycles++
+			rec.Mark(m.cycle, p.id, trace.KindStall)
+			return false
+		}
+		rec.Mark(m.cycle, p.id, trace.KindExec)
+	}
+
+	m.execute(p, in, inBarrier)
+	m.maybeInterrupt(p)
+
+	// VLIW bundling: issue further bundleable instructions this cycle.
+	for issued := 1; issued < m.cfg.IssueWidth; issued++ {
+		if p.halted || p.busy != busyNone || p.busyTil > m.cycle+1 {
+			break
+		}
+		if p.pc < 0 || p.pc >= p.prog.Len() {
+			break
+		}
+		next := p.prog.Code[p.pc]
+		if !bundleable(next) || m.instrInBarrier(p, next) != inBarrier {
+			break
+		}
+		if inBarrier {
+			m.net.Unit(p.id).NoteBarrierInstr()
+		}
+		m.execute(p, next, inBarrier)
+		m.maybeInterrupt(p)
+	}
+	return true
+}
+
+// bundleable reports whether an instruction may share an issue cycle with
+// its predecessor in VLIW mode: only single-cycle register-to-register
+// work qualifies.
+func bundleable(in isa.Instr) bool {
+	switch in.Op {
+	case isa.NOP, isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+		isa.SHL, isa.SHR, isa.SLT, isa.LDI, isa.MOV, isa.ADDI, isa.SUBI:
+		return true
+	}
+	return false
+}
+
+// maybeInterrupt injects the deterministic preemption configured by
+// InterruptEvery/InterruptCost. The injection point is after instruction
+// issue, so interrupts land inside barrier regions as readily as outside
+// them; per-processor staggering (by id) makes processors drift apart,
+// which is the disturbance the fuzzy barrier must absorb.
+func (m *Machine) maybeInterrupt(p *processor) {
+	if m.cfg.InterruptEvery <= 0 || p.halted {
+		return
+	}
+	p.sinceIrq++
+	if (p.sinceIrq+int64(p.id)*3)%m.cfg.InterruptEvery == 0 {
+		start := m.cycle + 1
+		if p.busyTil > start {
+			start = p.busyTil
+		}
+		p.busy = busyIrq
+		p.busyTil = start + m.cfg.InterruptCost
+	}
+}
+
+// instrInBarrier decides region membership of the instruction about to
+// issue, under the program's encoding mode. In marker mode the BENTER
+// instruction itself is the first region instruction and BEXIT the last.
+func (m *Machine) instrInBarrier(p *processor, in isa.Instr) bool {
+	if p.prog.Mode == isa.ModeBit {
+		return in.Barrier
+	}
+	switch in.Op {
+	case isa.BENTER:
+		return true
+	case isa.BEXIT:
+		return true
+	default:
+		return p.inBar
+	}
+}
+
+func (m *Machine) halt(p *processor) {
+	p.halted = true
+	p.stats.HaltCycle = m.cycle
+	if rec := m.cfg.Recorder; rec.Enabled() {
+		rec.Mark(m.cycle, p.id, trace.KindHalted)
+		if p.fault != nil {
+			rec.Eventf(m.cycle, p.id, "fault: %v", p.fault)
+		} else {
+			rec.Eventf(m.cycle, p.id, "halted")
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package machine
+
+import (
+	"testing"
+
+	"fuzzybarrier/internal/core"
+	"fuzzybarrier/internal/isa"
+)
+
+// TestFigure6StreamMerging reproduces Figure 6 on the simulator: three
+// processors whose streams merge pairwise using *different* logical
+// barriers, with tags and masks rewritten at run time by BARRIER
+// instructions.
+//
+//	P1 runs S0, then synchronizes with P2 at B2 (tag 2), then with P3 at
+//	B3 (tag 3), then finishes S5 alone.
+//	P2 runs S2 and engages only in B2.
+//	P3 runs S4 and engages only in B3.
+//
+// If the barriers were not logically distinct (same tag), P1's arrival
+// for B2 could incorrectly match P3's arrival for B3 — the mis-sync the
+// paper uses to motivate tags.
+func TestFigure6StreamMerging(t *testing.T) {
+	// P1: work; barrier tag2 with P2; work; barrier tag3 with P3; halt.
+	b1 := isa.NewBuilder("P1")
+	b1.Work(5)
+	b1.BarrierInit(2, uint64(core.MaskOf(1)))
+	b1.InBarrier().Nop()
+	b1.InNonBarrier().Work(5)
+	b1.BarrierInit(3, uint64(core.MaskOf(2))) // retag for the second merge
+	b1.InBarrier().Nop()
+	b1.InNonBarrier().Work(3).Halt()
+
+	// P2: long work (S2); barrier tag2 with P1; halt.
+	b2 := isa.NewBuilder("P2")
+	b2.Work(30)
+	b2.BarrierInit(2, uint64(core.MaskOf(0)))
+	b2.InBarrier().Nop()
+	b2.InNonBarrier().Halt()
+
+	// P3: longer work (S4); barrier tag3 with P1; halt.
+	b3 := isa.NewBuilder("P3")
+	b3.Work(60)
+	b3.BarrierInit(3, uint64(core.MaskOf(0)))
+	b3.InBarrier().Nop()
+	b3.InNonBarrier().Halt()
+
+	m := New(Config{Procs: 3, Mem: simpleMem(3)})
+	for p, b := range []*isa.Builder{b1, b2, b3} {
+		if err := m.Load(p, b.MustBuild()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// P1 completed two merges, P2 and P3 one each.
+	if res.Procs[0].Syncs != 2 {
+		t.Errorf("P1 syncs = %d, want 2", res.Procs[0].Syncs)
+	}
+	if res.Procs[1].Syncs != 1 || res.Procs[2].Syncs != 1 {
+		t.Errorf("P2/P3 syncs = %d/%d, want 1/1", res.Procs[1].Syncs, res.Procs[2].Syncs)
+	}
+	// Ordering: P1 cannot halt before P3 becomes ready (cycle ~60).
+	if res.Procs[0].HaltCycle < 60 {
+		t.Errorf("P1 halted at %d, before P3's merge point", res.Procs[0].HaltCycle)
+	}
+}
+
+// TestFigure6WithoutTagsMisSyncs shows the failure distinct barriers
+// prevent. With one shared tag and asymmetric masks — P1 waiting on both
+// partners while each partner waits only on P1 — the partners each
+// "synchronize" one-sidedly against P1's standing ready line (P2 at its
+// own arrival, P3 at its own arrival) and halt, consuming their lines,
+// while P1's own condition (both partners ready simultaneously) is never
+// true. P1 deadlocks after both partners believe the merge happened —
+// exactly the paper's mis-synchronization: "P1 upon reaching barrier B2
+// may incorrectly synchronize with P3 when P3 reaches barrier B3 if the
+// barriers are not given different identities."
+func TestFigure6WithoutTagsMisSyncs(t *testing.T) {
+	b1 := isa.NewBuilder("P1")
+	b1.Work(5)
+	b1.BarrierInit(1, uint64(core.MaskOf(1)|core.MaskOf(2))) // "merge with whoever"
+	b1.InBarrier().Nop()
+	b1.InNonBarrier().Halt()
+
+	b2 := isa.NewBuilder("P2")
+	b2.Work(30)
+	b2.BarrierInit(1, uint64(core.MaskOf(0)))
+	b2.InBarrier().Nop()
+	b2.InNonBarrier().Halt()
+
+	b3 := isa.NewBuilder("P3")
+	b3.Work(60)
+	b3.BarrierInit(1, uint64(core.MaskOf(0)))
+	b3.InBarrier().Nop()
+	b3.InNonBarrier().Halt()
+
+	m := New(Config{Procs: 3, Mem: simpleMem(3), MaxCycles: 100_000})
+	for p, b := range []*isa.Builder{b1, b2, b3} {
+		if err := m.Load(p, b.MustBuild()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := m.Run()
+	if err == nil {
+		t.Fatal("expected the untagged merge pattern to deadlock")
+	}
+	if !res.Deadlocked {
+		t.Fatalf("run failed differently: %v", err)
+	}
+	// The partners each completed a one-sided "synchronization"; P1 never
+	// synchronized at all.
+	if res.Procs[1].Syncs != 1 || res.Procs[2].Syncs != 1 {
+		t.Errorf("partner syncs = %d/%d, want 1/1", res.Procs[1].Syncs, res.Procs[2].Syncs)
+	}
+	if res.Procs[0].Syncs != 0 {
+		t.Errorf("P1 syncs = %d, want 0 (its mask is never satisfied)", res.Procs[0].Syncs)
+	}
+	if res.Procs[0].Halted {
+		t.Error("P1 should be stuck, not halted")
+	}
+}
+
+// TestRetaggingMidStream verifies that a processor can change its barrier
+// identity repeatedly and that stale partners never satisfy the new tag.
+func TestRetaggingMidStream(t *testing.T) {
+	// P0 synchronizes once with P1 under tag 1, then retags to 2 and
+	// synchronizes with P2, then back to tag 1 with P1 again.
+	prog0 := isa.NewBuilder("P0")
+	prog0.BarrierInit(1, uint64(core.MaskOf(1)))
+	prog0.InBarrier().Nop()
+	prog0.InNonBarrier().Nop()
+	prog0.BarrierInit(2, uint64(core.MaskOf(2)))
+	prog0.InBarrier().Nop()
+	prog0.InNonBarrier().Nop()
+	prog0.BarrierInit(1, uint64(core.MaskOf(1)))
+	prog0.InBarrier().Nop()
+	prog0.InNonBarrier().Halt()
+
+	prog1 := isa.NewBuilder("P1")
+	prog1.BarrierInit(1, uint64(core.MaskOf(0)))
+	prog1.InBarrier().Nop()
+	prog1.InNonBarrier().Work(40) // busy while P0 talks to P2
+	prog1.InBarrier().Nop()
+	prog1.InNonBarrier().Halt()
+
+	prog2 := isa.NewBuilder("P2")
+	prog2.BarrierInit(2, uint64(core.MaskOf(0)))
+	prog2.Work(10)
+	prog2.InBarrier().Nop()
+	prog2.InNonBarrier().Halt()
+
+	m := New(Config{Procs: 3, Mem: simpleMem(3)})
+	for p, b := range []*isa.Builder{prog0, prog1, prog2} {
+		if err := m.Load(p, b.MustBuild()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Procs[0].Syncs != 3 {
+		t.Errorf("P0 syncs = %d, want 3", res.Procs[0].Syncs)
+	}
+	if res.Procs[1].Syncs != 2 {
+		t.Errorf("P1 syncs = %d, want 2", res.Procs[1].Syncs)
+	}
+	if res.Procs[2].Syncs != 1 {
+		t.Errorf("P2 syncs = %d, want 1", res.Procs[2].Syncs)
+	}
+}

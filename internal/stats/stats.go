@@ -1,0 +1,230 @@
+// Package stats provides small numeric helpers used by the simulator,
+// the experiment harness and the benchmark tables: summary statistics,
+// histograms and series formatting.
+//
+// The package is intentionally dependency-free (stdlib math/sort only) so
+// every other module in the repository can use it without import cycles.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual five-number-style description of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Stdev  float64
+	Median float64
+	P90    float64
+	P99    float64
+	Sum    float64
+}
+
+// Summarize computes a Summary over xs. An empty sample yields a zero
+// Summary with N == 0.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	for _, x := range sorted {
+		s.Sum += x
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var sq float64
+	for _, x := range sorted {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if s.N > 1 {
+		s.Stdev = math.Sqrt(sq / float64(s.N-1))
+	}
+	s.Median = Percentile(sorted, 50)
+	s.P90 = Percentile(sorted, 90)
+	s.P99 = Percentile(sorted, 99)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of a sorted sample using
+// linear interpolation between closest ranks. The input must be sorted in
+// ascending order; an empty sample yields 0.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// MeanInts is Mean over an integer sample.
+func MeanInts(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// MaxInts returns the maximum of xs, or 0 for an empty sample.
+func MaxInts(xs []int64) int64 {
+	var m int64
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MinInts returns the minimum of xs, or 0 for an empty sample.
+func MinInts(xs []int64) int64 {
+	var m int64
+	for i, x := range xs {
+		if i == 0 || x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// SumInts returns the sum of xs.
+func SumInts(xs []int64) int64 {
+	var sum int64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// Speedup returns base/v, guarding against division by zero.
+func Speedup(base, v float64) float64 {
+	if v == 0 {
+		return math.Inf(1)
+	}
+	return base / v
+}
+
+// Histogram is a fixed-width-bucket histogram over float64 observations.
+type Histogram struct {
+	Lo      float64
+	Width   float64
+	Counts  []int64
+	Under   int64 // observations below Lo
+	Over    int64 // observations at or above Lo+Width*len(Counts)
+	Samples int64
+}
+
+// NewHistogram creates a histogram with n buckets of the given width
+// starting at lo. It panics if n <= 0 or width <= 0 — histogram shape is a
+// programming decision, not runtime input.
+func NewHistogram(lo, width float64, n int) *Histogram {
+	if n <= 0 || width <= 0 {
+		panic(fmt.Sprintf("stats: invalid histogram shape n=%d width=%g", n, width))
+	}
+	return &Histogram{Lo: lo, Width: width, Counts: make([]int64, n)}
+}
+
+// Observe records a single observation.
+func (h *Histogram) Observe(x float64) {
+	h.Samples++
+	if x < h.Lo {
+		h.Under++
+		return
+	}
+	idx := int((x - h.Lo) / h.Width)
+	if idx >= len(h.Counts) {
+		h.Over++
+		return
+	}
+	h.Counts[idx]++
+}
+
+// Bucket returns the [lo, hi) bounds of bucket i.
+func (h *Histogram) Bucket(i int) (lo, hi float64) {
+	lo = h.Lo + float64(i)*h.Width
+	return lo, lo + h.Width
+}
+
+// String renders the histogram as a compact text table.
+func (h *Histogram) String() string {
+	out := ""
+	if h.Under > 0 {
+		out += fmt.Sprintf("  <%g: %d\n", h.Lo, h.Under)
+	}
+	for i, c := range h.Counts {
+		lo, hi := h.Bucket(i)
+		out += fmt.Sprintf("  [%g,%g): %d\n", lo, hi, c)
+	}
+	if h.Over > 0 {
+		lo, _ := h.Bucket(len(h.Counts))
+		out += fmt.Sprintf("  >=%g: %d\n", lo, h.Over)
+	}
+	return out
+}
+
+// Series is a named (x, y) series used by the experiment tables.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point to the series.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Monotone reports whether the Y values are non-increasing (dir < 0) or
+// non-decreasing (dir > 0), within a relative tolerance tol. It is the
+// check the experiment harness uses to validate "shape" claims.
+func (s *Series) Monotone(dir int, tol float64) bool {
+	for i := 1; i < len(s.Y); i++ {
+		prev, cur := s.Y[i-1], s.Y[i]
+		slack := tol * math.Max(math.Abs(prev), math.Abs(cur))
+		switch {
+		case dir < 0 && cur > prev+slack:
+			return false
+		case dir > 0 && cur < prev-slack:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,174 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Sum != 15 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 3 || s.Median != 3 {
+		t.Errorf("mean/median = %v/%v", s.Mean, s.Median)
+	}
+	if math.Abs(s.Stdev-math.Sqrt(2.5)) > 1e-9 {
+		t.Errorf("stdev = %v, want sqrt(2.5)", s.Stdev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := map[float64]float64{0: 10, 100: 40, 50: 25, 25: 17.5}
+	for p, want := range cases {
+		if got := Percentile(sorted, p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", p, got, want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	if Percentile([]float64{7}, 99) != 7 {
+		t.Error("single-element percentile")
+	}
+}
+
+func TestIntHelpers(t *testing.T) {
+	xs := []int64{3, -1, 7, 0}
+	if MeanInts(xs) != 2.25 {
+		t.Errorf("mean = %v", MeanInts(xs))
+	}
+	if MaxInts(xs) != 7 || MinInts(xs) != -1 || SumInts(xs) != 9 {
+		t.Errorf("max/min/sum = %d/%d/%d", MaxInts(xs), MinInts(xs), SumInts(xs))
+	}
+	if MeanInts(nil) != 0 || MaxInts(nil) != 0 || MinInts(nil) != 0 {
+		t.Error("empty int helpers should return 0")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty Mean should return 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(10, 2) != 5 {
+		t.Error("speedup 10/2")
+	}
+	if !math.IsInf(Speedup(10, 0), 1) {
+		t.Error("speedup by zero should be +Inf")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 3) // [0,10) [10,20) [20,30)
+	for _, x := range []float64{-5, 0, 9.9, 10, 25, 100} {
+		h.Observe(x)
+	}
+	if h.Under != 1 || h.Over != 1 || h.Samples != 6 {
+		t.Errorf("under/over/samples = %d/%d/%d", h.Under, h.Over, h.Samples)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[2] != 1 {
+		t.Errorf("counts = %v", h.Counts)
+	}
+	lo, hi := h.Bucket(1)
+	if lo != 10 || hi != 20 {
+		t.Errorf("bucket 1 = [%v,%v)", lo, hi)
+	}
+	if h.String() == "" {
+		t.Error("histogram renders empty")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad shape")
+		}
+	}()
+	NewHistogram(0, 0, 5)
+}
+
+func TestSeriesMonotone(t *testing.T) {
+	var dec Series
+	for i, y := range []float64{100, 80, 60, 40} {
+		dec.Add(float64(i), y)
+	}
+	if !dec.Monotone(-1, 0) {
+		t.Error("decreasing series not detected")
+	}
+	if dec.Monotone(+1, 0) {
+		t.Error("decreasing series reported increasing")
+	}
+	// Tolerance: a 5% bump within 10% slack still counts as monotone.
+	var noisy Series
+	for i, y := range []float64{100, 90, 93, 70} {
+		noisy.Add(float64(i), y)
+	}
+	if !noisy.Monotone(-1, 0.1) {
+		t.Error("noisy series should pass with 10% tolerance")
+	}
+	if noisy.Monotone(-1, 0.01) {
+		t.Error("noisy series should fail with 1% tolerance")
+	}
+}
+
+// TestSummaryInvariants: for any non-empty sample, min <= median <= max,
+// p90 <= p99 <= max, and sum = mean*n.
+func TestSummaryInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		if s.Min > s.Median || s.Median > s.Max {
+			return false
+		}
+		if s.P90 > s.P99+1e-9 || s.P99 > s.Max+1e-9 {
+			return false
+		}
+		return math.Abs(s.Sum-s.Mean*float64(s.N)) < 1e-6*math.Max(1, math.Abs(s.Sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPercentileMonotoneProperty: percentiles are non-decreasing in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, a, b uint8) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		sort.Float64s(clean)
+		p1 := float64(a % 101)
+		p2 := float64(b % 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(clean, p1) <= Percentile(clean, p2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

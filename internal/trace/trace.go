@@ -1,0 +1,148 @@
+// Package trace records execution events from the multiprocessor simulator
+// and renders them for humans: per-cycle Gantt charts, event logs, and the
+// fixed-width tables used by the experiment harness.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies what a processor was doing during one cycle.
+type Kind byte
+
+// Cycle activity kinds. The byte values double as the glyphs used by the
+// Gantt renderer.
+const (
+	KindIdle       Kind = '.' // before start / after halt
+	KindExec       Kind = '=' // executing a non-barrier instruction
+	KindBarrier    Kind = 'b' // executing a barrier-region instruction
+	KindStall      Kind = 'S' // stalled at the end of a barrier region
+	KindMemory     Kind = 'm' // waiting on a memory access
+	KindHotSpot    Kind = 'H' // waiting in a hot-spot queue
+	KindSync       Kind = '*' // the cycle on which synchronization fired
+	KindHalted     Kind = ' ' // halted
+	KindWork       Kind = 'w' // synthetic WORK busy cycles
+	KindSpin       Kind = 's' // spinning in a software barrier
+	KindOverheadOp Kind = 'o' // executing software-barrier overhead instructions
+	KindInterrupt  Kind = 'I' // preempted by an injected interrupt/trap
+)
+
+// Event is a single recorded occurrence in a simulation.
+type Event struct {
+	Cycle int64
+	Proc  int
+	What  string
+}
+
+// Recorder accumulates per-cycle activity and discrete events.
+// The zero value records events but no Gantt lanes; use NewRecorder to get
+// lanes for a fixed processor count.
+type Recorder struct {
+	lanes    [][]Kind
+	events   []Event
+	maxCycle int64
+	enabled  bool
+}
+
+// NewRecorder returns a Recorder with one Gantt lane per processor.
+func NewRecorder(procs int) *Recorder {
+	r := &Recorder{enabled: true}
+	r.lanes = make([][]Kind, procs)
+	return r
+}
+
+// Enabled reports whether per-cycle recording is active. A nil Recorder is
+// permitted everywhere and reports false, so the simulator can be run
+// without tracing overhead.
+func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
+
+// Mark records what processor p did during the given cycle.
+func (r *Recorder) Mark(cycle int64, p int, k Kind) {
+	if r == nil || !r.enabled || p < 0 || p >= len(r.lanes) {
+		return
+	}
+	lane := r.lanes[p]
+	for int64(len(lane)) <= cycle {
+		lane = append(lane, KindIdle)
+	}
+	lane[cycle] = k
+	r.lanes[p] = lane
+	if cycle > r.maxCycle {
+		r.maxCycle = cycle
+	}
+}
+
+// Eventf records a discrete, printf-formatted event.
+func (r *Recorder) Eventf(cycle int64, p int, format string, args ...any) {
+	if r == nil || !r.enabled {
+		return
+	}
+	r.events = append(r.events, Event{Cycle: cycle, Proc: p, What: fmt.Sprintf(format, args...)})
+}
+
+// Events returns the recorded events ordered by cycle, then processor.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := append([]Event(nil), r.events...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Cycle != out[j].Cycle {
+			return out[i].Cycle < out[j].Cycle
+		}
+		return out[i].Proc < out[j].Proc
+	})
+	return out
+}
+
+// Gantt renders the recorded lanes as a text chart, one row per processor.
+// Legend: '=' non-barrier execution, 'b' barrier region, 'S' stalled,
+// '*' sync fired, 'm' memory wait, 'H' hot-spot queue, 'w' synthetic work,
+// 's' software spin, 'o' software-barrier overhead, 'I' interrupted,
+// '.' idle.
+func (r *Recorder) Gantt() string {
+	if r == nil || len(r.lanes) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	width := r.maxCycle + 1
+	// Cycle ruler every 10 cycles.
+	b.WriteString("      ")
+	for c := int64(0); c < width; c++ {
+		if c%10 == 0 {
+			s := fmt.Sprintf("%d", c)
+			b.WriteString(s)
+			c += int64(len(s)) - 1
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('\n')
+	for p, lane := range r.lanes {
+		fmt.Fprintf(&b, "P%-4d ", p)
+		for c := int64(0); c < width; c++ {
+			if c < int64(len(lane)) {
+				b.WriteByte(byte(lane[c]))
+			} else {
+				b.WriteByte(byte(KindIdle))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LaneCounts returns, for processor p, how many cycles were spent in each
+// activity kind. It returns nil if p has no lane.
+func (r *Recorder) LaneCounts(p int) map[Kind]int64 {
+	if r == nil || p < 0 || p >= len(r.lanes) {
+		return nil
+	}
+	m := make(map[Kind]int64)
+	for _, k := range r.lanes[p] {
+		m[k]++
+	}
+	return m
+}

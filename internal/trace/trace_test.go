@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderMarkAndGantt(t *testing.T) {
+	r := NewRecorder(2)
+	r.Mark(0, 0, KindExec)
+	r.Mark(1, 0, KindBarrier)
+	r.Mark(2, 0, KindStall)
+	r.Mark(0, 1, KindWork)
+	r.Mark(2, 1, KindSync)
+	g := r.Gantt()
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 3 { // ruler + 2 lanes
+		t.Fatalf("gantt lines = %d, want 3:\n%s", len(lines), g)
+	}
+	if !strings.Contains(lines[1], "=bS") {
+		t.Errorf("lane 0 = %q, want to contain =bS", lines[1])
+	}
+	if !strings.Contains(lines[2], "w.*") {
+		t.Errorf("lane 1 = %q, want to contain w.*", lines[2])
+	}
+}
+
+func TestRecorderIgnoresOutOfRange(t *testing.T) {
+	r := NewRecorder(1)
+	r.Mark(0, 5, KindExec)  // lane out of range: ignored
+	r.Mark(0, -1, KindExec) // negative: ignored
+	if counts := r.LaneCounts(0); len(counts) != 0 {
+		t.Errorf("unexpected marks: %v", counts)
+	}
+	if r.LaneCounts(9) != nil {
+		t.Error("out-of-range lane should return nil")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder enabled")
+	}
+	r.Mark(0, 0, KindExec) // must not panic
+	r.Eventf(0, 0, "x")
+	if r.Events() != nil {
+		t.Error("nil recorder has events")
+	}
+	if r.Gantt() != "" {
+		t.Error("nil recorder renders gantt")
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	r := NewRecorder(2)
+	r.Eventf(5, 1, "later")
+	r.Eventf(5, 0, "same cycle lower proc")
+	r.Eventf(2, 1, "first")
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Cycle != 2 || evs[1].Proc != 0 || evs[2].Proc != 1 {
+		t.Errorf("order wrong: %+v", evs)
+	}
+	if evs[2].What != "later" {
+		t.Errorf("what = %q", evs[2].What)
+	}
+}
+
+func TestLaneCounts(t *testing.T) {
+	r := NewRecorder(1)
+	for c := int64(0); c < 5; c++ {
+		r.Mark(c, 0, KindStall)
+	}
+	r.Mark(5, 0, KindSync)
+	counts := r.LaneCounts(0)
+	if counts[KindStall] != 5 || counts[KindSync] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Demo table", "name", "value", "ratio")
+	tbl.AddRow("alpha", 42, 1.5)
+	tbl.AddRow("beta", 7, 0.25)
+	tbl.AddNote("a note with %d substitutions", 1)
+	out := tbl.String()
+	for _, want := range []string{"Demo table", "name", "alpha", "42", "1.5", "0.25", "note: a note with 1 substitutions", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if tbl.NumRows() != 2 {
+		t.Errorf("rows = %d", tbl.NumRows())
+	}
+	if len(tbl.Header()) != 3 {
+		t.Errorf("header = %v", tbl.Header())
+	}
+}
+
+func TestTableNumericAlignment(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.AddRow(5)
+	tbl.AddRow(12345)
+	lines := strings.Split(strings.TrimRight(tbl.String(), "\n"), "\n")
+	// Right-aligned: the short number ends at the same column.
+	last := lines[len(lines)-2]
+	if !strings.HasSuffix(last, "5") || len(last) != len(lines[len(lines)-1]) {
+		t.Errorf("alignment off:\n%s", tbl.String())
+	}
+}
+
+func TestTableFloatTrimming(t *testing.T) {
+	tbl := NewTable("", "v")
+	tbl.AddRow(1.5)
+	tbl.AddRow(2.0)
+	tbl.AddRow(float32(0.25))
+	out := tbl.String()
+	if strings.Contains(out, "1.500") || strings.Contains(out, "2.000") {
+		t.Errorf("floats not trimmed:\n%s", out)
+	}
+	if !strings.Contains(out, "2") || !strings.Contains(out, "0.25") {
+		t.Errorf("values missing:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.AddRow("x,y", `quote"inside`)
+	tbl.AddRow(1, 2)
+	csv := tbl.CSV()
+	want := "a,b\n\"x,y\",\"quote\"\"inside\"\n1,2\n"
+	if csv != want {
+		t.Errorf("csv = %q, want %q", csv, want)
+	}
+}
+
+func TestIsNumeric(t *testing.T) {
+	yes := []string{"5", "-3", "3.25", "33.3x", "0"}
+	no := []string{"", "abc", "1.2.3", "x33", "--1", "3-3"}
+	for _, s := range yes {
+		if !isNumeric(s) {
+			t.Errorf("%q should be numeric", s)
+		}
+	}
+	for _, s := range no {
+		if isNumeric(s) {
+			t.Errorf("%q should not be numeric", s)
+		}
+	}
+}
+
+func TestGanttRuler(t *testing.T) {
+	r := NewRecorder(1)
+	for c := int64(0); c < 25; c++ {
+		r.Mark(c, 0, KindExec)
+	}
+	g := r.Gantt()
+	ruler := strings.Split(g, "\n")[0]
+	if !strings.Contains(ruler, "0") || !strings.Contains(ruler, "10") || !strings.Contains(ruler, "20") {
+		t.Errorf("ruler = %q", ruler)
+	}
+}

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"fmt"
+
+	"fuzzybarrier/internal/core"
+	"fuzzybarrier/internal/isa"
+	"fuzzybarrier/internal/sched"
+)
+
+// StaticSchedLoop is the Figure 11 workload: `Rounds` rounds of an inner
+// parallel loop of Iters iterations on Procs processors, each iteration
+// costing IterCost cycles, with a barrier between rounds. The per-round
+// assignment comes from Assign (e.g. sched.Block for Figure 11's fixed
+// schedule, sched.Rotating for the rotating-remainder schedule); with
+// Region > 0 a barrier region of that many cycles follows each round so
+// idle time can be absorbed (Figure 11(c)).
+type StaticSchedLoop struct {
+	Self     int
+	Procs    int
+	Rounds   int
+	Iters    int
+	IterCost int64
+	Region   int64
+	Assign   func(round int) sched.Assignment
+}
+
+// Program builds the (unrolled) machine program.
+func (c StaticSchedLoop) Program() (*isa.Program, error) {
+	if c.Procs < 1 || c.Self < 0 || c.Self >= c.Procs {
+		return nil, fmt.Errorf("workload: bad self/procs %d/%d", c.Self, c.Procs)
+	}
+	if c.Assign == nil {
+		return nil, fmt.Errorf("workload: StaticSchedLoop needs an Assign function")
+	}
+	b := isa.NewBuilder(fmt.Sprintf("statsched-p%d", c.Self))
+	b.BarrierInit(1, uint64(core.AllExcept(c.Procs, c.Self)))
+	for r := 0; r < c.Rounds; r++ {
+		a := c.Assign(r)
+		mine := 0
+		if c.Self < len(a) {
+			mine = len(a[c.Self])
+		}
+		b.InNonBarrier()
+		if w := int64(mine) * c.IterCost; w > 0 {
+			b.Work(w).Comment("round %d: %d iterations", r, mine)
+		} else {
+			b.Nop().Comment("round %d: no iterations", r)
+		}
+		b.InBarrier()
+		if c.Region > 0 {
+			b.Work(c.Region).Comment("round %d barrier region", r)
+		} else {
+			b.Nop()
+		}
+	}
+	b.InNonBarrier().Halt()
+	return b.Build()
+}
+
+// DynamicSchedLoop is the Figure 12 workload: the iteration count of the
+// inner loop is (conceptually) unknown at compile time, so iterations are
+// claimed at run time from a shared index word using fetch-and-add. The
+// per-iteration cost is triangular (Base + Slope·i), the classic
+// motivating shape for guided self-scheduling. After draining the
+// iteration space each processor enters the end-of-round barrier; with
+// Region > 0 the barrier region absorbs the finish-time spread.
+//
+// Policy selects the chunk size: 1 (self-scheduling), a fixed K, or 0 for
+// GSS (each grab takes ⌈remaining/Procs⌉). The GSS claim must read the
+// index and advance it atomically as one unit, so it runs under a ticket
+// lock built from two more shared words and fetch-and-add — the realistic
+// cost of GSS on FAA hardware, and part of the scheduling overhead the
+// experiment measures.
+//
+// Register use: r1 = 1, r4..r9 scratch.
+type DynamicSchedLoop struct {
+	Self   int
+	Procs  int
+	Iters  int64
+	Base   int64
+	Slope  int64
+	Region int64
+	Chunk  int64 // 0 = GSS, 1 = self, k = fixed chunk
+	Index  int64 // shared index word address (default 12)
+}
+
+// Program builds the machine program.
+func (c DynamicSchedLoop) Program() (*isa.Program, error) {
+	if c.Procs < 1 || c.Self < 0 || c.Self >= c.Procs {
+		return nil, fmt.Errorf("workload: bad self/procs %d/%d", c.Self, c.Procs)
+	}
+	if c.Iters < 1 {
+		return nil, fmt.Errorf("workload: DynamicSchedLoop needs iterations")
+	}
+	idx := c.Index
+	if idx == 0 {
+		idx = 12
+	}
+	b := isa.NewBuilder(fmt.Sprintf("dynsched-p%d", c.Self))
+	b.BarrierInit(1, uint64(core.AllExcept(c.Procs, c.Self)))
+	b.Ldi(10, idx).Comment("&index")
+	b.Ldi(11, c.Iters).Comment("N")
+	b.Ldi(12, int64(c.Procs)).Comment("P")
+	b.Ldi(13, c.Base).Comment("base cost")
+	b.Ldi(14, c.Slope).Comment("slope")
+	b.Ldi(15, 2)
+
+	b.Ldi(1, 1).Comment("constant 1")
+
+	b.Label("grab")
+	if c.Chunk > 0 {
+		// Fixed chunk: a single fetch-and-add claims the block.
+		b.Ldi(4, c.Chunk).Comment("fixed chunk")
+		b.Faa(5, 10, 0, 4).Comment("claim chunk")
+		b.CondBr(isa.BGE, 5, 11, "drain")
+	} else {
+		// GSS: acquire the ticket lock (index+1 = next ticket, index+2 =
+		// now serving), then read-compute-advance the index atomically.
+		b.Faa(6, 10, 1, 1).Comment("take ticket")
+		b.Label("spinlock").Ld(7, 10, 2).Comment("poll now-serving")
+		b.CondBr(isa.BLT, 7, 6, "spinlock")
+		b.Ld(5, 10, 0).Comment("read index")
+		b.Sub(4, 11, 5).Comment("remaining")
+		b.CondBr(isa.BLE, 4, 0, "unlockDrain") // r0 holds 0
+		b.Add(4, 4, 12).Comment("remaining + P")
+		b.Addi(4, 4, -1)
+		b.Alu(isa.DIV, 4, 4, 12).Comment("ceil(remaining/P)")
+		b.Add(7, 5, 4)
+		b.St(10, 0, 7).Comment("advance index")
+		b.Faa(7, 10, 2, 1).Comment("release lock")
+		b.Br("haveChunk")
+		b.Label("unlockDrain").Faa(7, 10, 2, 1).Comment("release lock")
+		b.Br("drain")
+		b.Label("haveChunk")
+	}
+	// end := min(start+size, N)
+	b.Add(6, 5, 4)
+	b.CondBr(isa.BLE, 6, 11, "haveEnd")
+	b.Mov(6, 11)
+	b.Label("haveEnd")
+	// cost := (end-start)*Base + Slope*(start+end-1)*(end-start)/2
+	b.Sub(7, 6, 5).Comment("count")
+	b.Mul(8, 7, 13).Comment("count*base")
+	b.Add(9, 5, 6)
+	b.Addi(9, 9, -1)
+	b.Mul(9, 9, 7)
+	b.Alu(isa.DIV, 9, 9, 15).Comment("sum of indices")
+	b.Mul(9, 9, 14).Comment("*slope")
+	b.Add(8, 8, 9).Comment("total chunk cost")
+	b.WorkR(8)
+	b.Br("grab")
+
+	b.Label("drain")
+	b.InBarrier()
+	if c.Region > 0 {
+		b.Work(c.Region).Comment("end-of-round barrier region")
+	} else {
+		b.Nop().Comment("point barrier")
+	}
+	b.InNonBarrier().Halt()
+	return b.Build()
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+
+	"fuzzybarrier/internal/isa"
+)
+
+// SoftBarrierLayout fixes the shared-memory words used by the software
+// counter barrier: a fetch-and-add arrival counter and a release epoch
+// word. Both become hot spots — which is the point of experiment E2.
+type SoftBarrierLayout struct {
+	Counter int64 // arrival counter address
+	Release int64 // completed-episode counter address
+}
+
+// DefaultSoftBarrierLayout places the two words on addresses 8 and 9.
+// Placing them adjacently maximizes module contention on purpose,
+// mirroring the naive shared-variable barrier of Section 1.
+func DefaultSoftBarrierLayout() SoftBarrierLayout {
+	return SoftBarrierLayout{Counter: 8, Release: 9}
+}
+
+// CentralBarrierLoop is the software-barrier analog of SyncLoop: the same
+// per-iteration work, but synchronization is performed by a centralized
+// counter barrier written in ordinary instructions (fetch-and-add plus a
+// spin loop on the release word) instead of the fuzzy-barrier hardware.
+//
+// Register use: r1=1, r2=-(procs), r3=procs-1, r4..r7 scratch.
+type CentralBarrierLoop struct {
+	Self   int
+	Procs  int
+	Work   []int64
+	Layout SoftBarrierLayout
+}
+
+// Program builds the machine program.
+func (c CentralBarrierLoop) Program() (*isa.Program, error) {
+	if c.Procs < 1 || c.Self < 0 || c.Self >= c.Procs {
+		return nil, fmt.Errorf("workload: bad self/procs %d/%d", c.Self, c.Procs)
+	}
+	if len(c.Work) == 0 {
+		return nil, fmt.Errorf("workload: CentralBarrierLoop needs at least one iteration")
+	}
+	lay := c.Layout
+	if lay.Counter == 0 && lay.Release == 0 {
+		lay = DefaultSoftBarrierLayout()
+	}
+	b := isa.NewBuilder(fmt.Sprintf("softbar-p%d", c.Self))
+	b.Ldi(1, 1).Comment("constant 1")
+	b.Ldi(2, -int64(c.Procs)).Comment("counter reset delta")
+	b.Ldi(3, int64(c.Procs-1)).Comment("last-arriver threshold")
+	b.Ldi(10, lay.Counter).Comment("&counter")
+	b.Ldi(11, lay.Release).Comment("&release")
+	for k, w := range c.Work {
+		if w > 0 {
+			b.Work(w).Comment("iteration %d work", k)
+		}
+		spin := fmt.Sprintf("spin_%d", k)
+		done := fmt.Sprintf("done_%d", k)
+		// target release epoch = current + 1.
+		b.Ld(5, 11, 0).Comment("release epoch")
+		b.Addi(5, 5, 1)
+		b.Faa(4, 10, 0, 1).Comment("arrive: counter++")
+		b.CondBr(isa.BLT, 4, 3, spin)
+		// Last arriver: reset counter, publish release.
+		b.Faa(6, 10, 0, 2).Comment("counter -= procs")
+		b.Faa(6, 11, 0, 1).Comment("release++")
+		b.Br(done)
+		b.Label(spin).Ld(7, 11, 0).Comment("poll release")
+		b.CondBr(isa.BLT, 7, 5, spin)
+		b.Label(done)
+	}
+	b.Halt()
+	return b.Build()
+}
+
+// BarrierOnlyWork returns a work vector of n zero-cost iterations — used
+// to measure pure synchronization overhead.
+func BarrierOnlyWork(n int) []int64 { return make([]int64, n) }

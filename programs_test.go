@@ -1,0 +1,147 @@
+// Tests for the shipped example program files: every .s file must
+// assemble (and, where valid, simulate) and every .loop file must compile
+// and run for a few processor counts. This keeps examples/programs/ — the
+// inputs the README points cmd/fuzzsim and cmd/fuzzcc at — from rotting.
+package fuzzybarrier_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fuzzybarrier/internal/compiler"
+	"fuzzybarrier/internal/isa"
+	"fuzzybarrier/internal/lang"
+	"fuzzybarrier/internal/machine"
+	"fuzzybarrier/internal/mem"
+)
+
+const programsDir = "examples/programs"
+
+func TestExampleAsmProgramsAssemble(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join(programsDir, "*.s"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no .s files found: %v", err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := isa.Assemble(string(src))
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if p.Len() == 0 {
+			t.Errorf("%s: empty program", f)
+		}
+		// invalid-fig2.s is invalid on purpose; everything else must
+		// validate.
+		if strings.Contains(f, "invalid") {
+			if err := p.Validate(false); !errors.Is(err, isa.ErrInvalidBranch) {
+				t.Errorf("%s: expected ErrInvalidBranch, got %v", f, err)
+			}
+			continue
+		}
+		if err := p.Validate(false); err != nil {
+			t.Errorf("%s: %v", f, err)
+		}
+	}
+}
+
+func TestDriftLoopSimulates(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join(programsDir, "driftloop.s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := isa.Assemble(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Config{Procs: 2, Mem: mem.Config{
+		Words: 256, Procs: 2, HitLatency: 1, MissLatency: 1, Modules: 2,
+	}})
+	for p := 0; p < 2; p++ {
+		if err := m.Load(p, prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Syncs() != 6 {
+		t.Errorf("syncs = %d, want 6", res.Syncs())
+	}
+}
+
+func TestFig2PairDeadlocks(t *testing.T) {
+	load := func(name string) *isa.Program {
+		src, err := os.ReadFile(filepath.Join(programsDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := isa.Assemble(string(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	m := machine.New(machine.Config{Procs: 2, MaxCycles: 50_000, Mem: mem.Config{
+		Words: 128, Procs: 2, HitLatency: 1, MissLatency: 1, Modules: 2,
+	}})
+	if err := m.Load(0, load("invalid-fig2.s")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(1, load("fig2-partner.s")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); !errors.Is(err, machine.ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestExampleLoopProgramsCompileAndRun(t *testing.T) {
+	cases := map[string][]int{ // file -> processor counts to try
+		"poisson.loop": {2, 4},
+		"fig5.loop":    {2, 3, 6},
+		"fig9.loop":    {4, 8},
+		"fig7.loop":    {2, 4},
+	}
+	for name, procCounts := range cases {
+		src, err := os.ReadFile(filepath.Join(programsDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := lang.Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, procs := range procCounts {
+			for _, mode := range []compiler.RegionMode{compiler.RegionSpan, compiler.RegionReorder, compiler.RegionPoint} {
+				c, err := compiler.Compile(prog, compiler.Options{Procs: procs, Mode: mode})
+				if err != nil {
+					t.Fatalf("%s procs=%d mode=%v: %v", name, procs, mode, err)
+				}
+				m := machine.New(machine.Config{Procs: procs, Mem: mem.Config{
+					Words: int(c.Layout.Words) + 64, Procs: procs,
+					HitLatency: 1, MissLatency: 1, Modules: procs,
+				}})
+				for _, task := range c.Tasks {
+					if err := task.Machine.Validate(false); err != nil {
+						t.Fatalf("%s procs=%d mode=%v P%d: %v", name, procs, mode, task.Proc, err)
+					}
+					if err := m.Load(task.Proc, task.Machine); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if _, err := m.Run(); err != nil {
+					t.Fatalf("%s procs=%d mode=%v: %v", name, procs, mode, err)
+				}
+			}
+		}
+	}
+}
