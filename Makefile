@@ -1,0 +1,30 @@
+# Developer entry points. `make verify` is the full pre-merge gate;
+# tier-1 (ROADMAP.md) is the build+test subset.
+
+GO ?= go
+
+.PHONY: verify build vet test race bench fmt-check
+
+verify: build vet race fmt-check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The race-detector run subsumes `make test` (same packages, -race adds
+# the happens-before checker); internal/core carries dedicated TestRace*
+# stress tests written for this mode.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -10,7 +10,9 @@ package fuzzybarrier_test
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"fuzzybarrier/internal/baseline"
 	"fuzzybarrier/internal/compiler"
@@ -166,6 +168,63 @@ func BenchmarkE2Barriers(b *testing.B) {
 				}
 				wg.Wait()
 			})
+		}
+	}
+}
+
+// BenchmarkE2SplitScaling measures the arrive-side cost of the two
+// split-phase implementations — central counter vs combining tree — as
+// the participant count grows past anything the paper's Multimax could
+// host (8..1024 goroutines) and the barrier region varies. Two metrics:
+//
+//   - arrive-ns/op: mean wall time inside Arrive (scheduler-noisy on a
+//     time-shared host; read orderings, not absolutes);
+//   - hotspot-ops/phase: atomic operations landing on the hottest single
+//     counter word per episode, which is the deterministic, core-count-
+//     independent measure of the Section 1 hot spot. Central is always
+//     n+1; the tree stays near its radix, so the gap — and the point
+//     where a real machine's coherence traffic would cross over — is
+//     measurable directly.
+func BenchmarkE2SplitScaling(b *testing.B) {
+	for _, workers := range []int{8, 64, 256, 1024} {
+		for _, region := range []int{0, 16} {
+			for _, name := range baseline.SplitNames() {
+				b.Run(fmt.Sprintf("%s/p%d/region=%d", name, workers, region), func(b *testing.B) {
+					bar, err := baseline.NewSplit(name, workers)
+					if err != nil {
+						b.Fatal(err)
+					}
+					var arriveNS, sink atomic.Int64
+					var wg sync.WaitGroup
+					b.ResetTimer()
+					for w := 0; w < workers; w++ {
+						wg.Add(1)
+						go func() {
+							defer wg.Done()
+							var ns int64
+							var acc uint64
+							for i := 0; i < b.N; i++ {
+								t0 := time.Now()
+								ph := bar.Arrive()
+								ns += time.Since(t0).Nanoseconds()
+								acc += spinWork(region)
+								bar.Wait(ph)
+							}
+							arriveNS.Add(ns)
+							sink.Add(int64(acc))
+						}()
+					}
+					wg.Wait()
+					b.StopTimer()
+					benchSink += uint64(sink.Load())
+					b.ReportMetric(float64(arriveNS.Load())/float64(int64(b.N)*int64(workers)), "arrive-ns/op")
+					if prof, ok := bar.(core.ArriveProfiler); ok {
+						if ops, phases := prof.HotspotOps(); phases > 0 {
+							b.ReportMetric(float64(ops)/float64(phases), "hotspot-ops/phase")
+						}
+					}
+				})
+			}
 		}
 	}
 }

@@ -166,4 +166,12 @@ func TestCLIBarbench(t *testing.T) {
 	if !strings.Contains(out, "per-episode") {
 		t.Errorf("missing timing output:\n%s", out)
 	}
+	// The split-phase tree barrier reports its hot-spot traffic.
+	out, err = runTool(t, dir, "barbench", "-procs", "8", "-episodes", "200", "-impl", "fuzzy-tree", "-region", "5")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "hotspot-ops/phase") {
+		t.Errorf("missing hotspot metric:\n%s", out)
+	}
 }

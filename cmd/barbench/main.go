@@ -1,18 +1,22 @@
 // Command barbench measures runtime (goroutine) barrier implementations:
 // the conventional barriers of internal/baseline and the split-phase fuzzy
-// barrier of internal/core, optionally with a busy "barrier region"
-// between Arrive and Wait — the software analog of the Section 8 Encore
-// measurement.
+// barriers of internal/core (central-counter "fuzzy" and combining-tree
+// "fuzzy-tree"), optionally with a busy "barrier region" between Arrive
+// and Wait — the software analog of the Section 8 Encore measurement.
 //
 // Usage:
 //
 //	barbench                        # all barriers, default sizes
 //	barbench -procs 4 -episodes 100000
 //	barbench -impl fuzzy -region 50 # fuzzy with 50 units of region work
+//	barbench -impl fuzzy-tree -procs 256
 //
 // Wall-clock numbers on a time-shared goroutine scheduler are noisy; run
 // several times and look at the ordering, not the absolute values (the
 // deterministic version of this experiment is cmd/experiments -id E2).
+// For split barriers the tool also prints hotspot ops/phase — the atomic
+// traffic on the most-contended counter word, which is deterministic and
+// shows the central-vs-tree crossover regardless of host core count.
 package main
 
 import (
@@ -60,8 +64,11 @@ func measurePoint(name string, procs, episodes int) (time.Duration, error) {
 	return time.Since(start), nil
 }
 
-func measureFuzzy(procs, episodes, work, region int) time.Duration {
-	b := core.NewFuzzyBarrier(procs)
+func measureSplit(name string, procs, episodes, work, region int) (time.Duration, core.SplitBarrier, error) {
+	b, err := baseline.NewSplit(name, procs)
+	if err != nil {
+		return 0, nil, err
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for p := 0; p < procs; p++ {
@@ -79,15 +86,24 @@ func measureFuzzy(procs, episodes, work, region int) time.Duration {
 		}(p)
 	}
 	wg.Wait()
-	return time.Since(start)
+	return time.Since(start), b, nil
+}
+
+func isSplit(name string) bool {
+	for _, s := range baseline.SplitNames() {
+		if s == name {
+			return true
+		}
+	}
+	return false
 }
 
 func main() {
 	procs := flag.Int("procs", 4, "participants")
 	episodes := flag.Int("episodes", 50_000, "barrier episodes")
 	impl := flag.String("impl", "", "single implementation (default: all)")
-	work := flag.Int("work", 20, "per-episode non-barrier work units (fuzzy only)")
-	region := flag.Int("region", 0, "per-episode barrier-region work units (fuzzy only)")
+	work := flag.Int("work", 20, "per-episode non-barrier work units (split barriers only)")
+	region := flag.Int("region", 0, "per-episode barrier-region work units (split barriers only)")
 	flag.Parse()
 
 	if *procs > runtime.GOMAXPROCS(0) {
@@ -100,10 +116,20 @@ func main() {
 		names = []string{*impl}
 	}
 	for _, name := range names {
-		if name == "fuzzy" {
-			d := measureFuzzy(*procs, *episodes, *work, *region)
-			fmt.Printf("%-16s procs=%-3d episodes=%-8d region=%-4d total=%-12v per-episode=%v\n",
-				"fuzzy(split)", *procs, *episodes, *region, d, d/time.Duration(*episodes))
+		if isSplit(name) {
+			d, b, err := measureSplit(name, *procs, *episodes, *work, *region)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "barbench: %v\n", err)
+				os.Exit(1)
+			}
+			hotspot := ""
+			if prof, ok := b.(core.ArriveProfiler); ok {
+				if ops, phases := prof.HotspotOps(); phases > 0 {
+					hotspot = fmt.Sprintf(" hotspot-ops/phase=%.1f", float64(ops)/float64(phases))
+				}
+			}
+			fmt.Printf("%-16s procs=%-3d episodes=%-8d region=%-4d total=%-12v per-episode=%v%s\n",
+				name+"(split)", *procs, *episodes, *region, d, d/time.Duration(*episodes), hotspot)
 			continue
 		}
 		d, err := measurePoint(name, *procs, *episodes)

@@ -9,10 +9,12 @@
 //
 //   - internal/core — the mechanism itself: the hardware barrier unit
 //     (state machine, tag/mask register, broadcast ready lines), a
-//     runtime split-phase FuzzyBarrier (Arrive/Wait) for goroutines, a
-//     DynamicBarrier with register/arrive-and-leave membership (the
-//     runtime form of Section 5's mask manipulation), and the Section 5
-//     multi-barrier allocation discipline;
+//     runtime split-phase barriers (Arrive/Wait) for goroutines — the
+//     central-counter FuzzyBarrier, a combining-tree TreeBarrier for
+//     large participant counts, and a DynamicBarrier with
+//     register/arrive-and-leave membership (the runtime form of
+//     Section 5's mask manipulation) — and the Section 5 multi-barrier
+//     allocation discipline;
 //   - internal/machine, internal/mem, internal/isa — a deterministic
 //     cycle-level multiprocessor simulator with per-instruction
 //     barrier-region bits;

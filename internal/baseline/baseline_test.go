@@ -54,6 +54,7 @@ var constructors = map[string]func(n int) Barrier{
 	"dissemination":   func(n int) Barrier { return NewDissemination(n) },
 	"tournament":      func(n int) Barrier { return NewTournament(n) },
 	"fuzzy":           func(n int) Barrier { return NewFuzzyPoint(n) },
+	"fuzzy-tree":      func(n int) Barrier { b, _ := New("fuzzy-tree", n); return b },
 }
 
 func TestAllBarrierImplementations(t *testing.T) {
@@ -131,6 +132,26 @@ func TestFactory(t *testing.T) {
 	}
 	if _, err := New("bogus", 4); err == nil {
 		t.Error("expected error for unknown barrier")
+	}
+}
+
+func TestSplitFactory(t *testing.T) {
+	for _, name := range SplitNames() {
+		b, err := NewSplit(name, 4)
+		if err != nil {
+			t.Errorf("NewSplit(%q): %v", name, err)
+			continue
+		}
+		if b.N() != 4 {
+			t.Errorf("NewSplit(%q).N() = %d, want 4", name, b.N())
+		}
+		// Every split name must also be constructible as a point barrier.
+		if _, err := New(name, 4); err != nil {
+			t.Errorf("New(%q): %v", name, err)
+		}
+	}
+	if _, err := NewSplit("central", 4); err == nil {
+		t.Error("expected error for non-split name")
 	}
 }
 

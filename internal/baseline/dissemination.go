@@ -9,8 +9,8 @@ import "sync/atomic"
 // and the critical path is logarithmic — the best software case the
 // paper's Section 1 acknowledges.
 //
-// Flags are per-(participant, parity, round) epoch counters rather than
-// booleans, which removes the need for sense reversal resets.
+// Flags are per-(participant, round) epoch counters rather than
+// booleans, which removes the need for sense-reversal resets.
 type Dissemination struct {
 	n        int
 	rounds   int

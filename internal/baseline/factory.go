@@ -8,9 +8,10 @@ import (
 )
 
 // New constructs a barrier by name. Known names: "central",
-// "sense-reversing", "tree", "dissemination", "tournament", and "fuzzy"
+// "sense-reversing", "tree", "dissemination", "tournament", "fuzzy"
 // (a core.FuzzyBarrier used as a point barrier, for apples-to-apples
-// comparisons).
+// comparisons) and "fuzzy-tree" (the combining-tree core.TreeBarrier,
+// likewise as a point barrier).
 func New(name string, n int) (Barrier, error) {
 	switch name {
 	case "central":
@@ -25,52 +26,76 @@ func New(name string, n int) (Barrier, error) {
 		return NewTournament(n), nil
 	case "fuzzy":
 		return NewFuzzyPoint(n), nil
+	case "fuzzy-tree":
+		return NewSplitPoint("fuzzy-tree", core.NewTreeBarrier(n)), nil
 	}
 	return nil, fmt.Errorf("baseline: unknown barrier %q", name)
 }
 
 // Names returns the known barrier names in stable order.
 func Names() []string {
-	names := []string{"central", "sense-reversing", "tree", "dissemination", "tournament", "fuzzy"}
+	names := []string{"central", "sense-reversing", "tree", "dissemination", "tournament", "fuzzy", "fuzzy-tree"}
 	sort.Strings(names)
 	return names
 }
 
-// FuzzyPoint adapts core.FuzzyBarrier to the Barrier interface by using it
-// as a point barrier (empty barrier region). Its split-phase API remains
-// available through Inner.
-type FuzzyPoint struct {
-	inner *core.FuzzyBarrier
+// SplitNames returns the names that are split-phase (fuzzy) barriers —
+// the subset whose Inner exposes Arrive/Wait for region workloads.
+func SplitNames() []string { return []string{"fuzzy", "fuzzy-tree"} }
+
+// NewSplit constructs a runtime split-phase barrier by split name.
+func NewSplit(name string, n int) (core.SplitBarrier, error) {
+	switch name {
+	case "fuzzy":
+		return core.NewFuzzyBarrier(n), nil
+	case "fuzzy-tree":
+		return core.NewTreeBarrier(n), nil
+	}
+	return nil, fmt.Errorf("baseline: unknown split barrier %q", name)
 }
 
-// NewFuzzyPoint wraps a fresh fuzzy barrier for n participants.
-func NewFuzzyPoint(n int) *FuzzyPoint {
-	return &FuzzyPoint{inner: core.NewFuzzyBarrier(n)}
+// SplitPoint adapts any core.SplitBarrier to the Barrier interface by
+// using it as a point barrier (empty barrier region). The split-phase
+// API remains available through Inner.
+type SplitPoint struct {
+	name  string
+	inner core.SplitBarrier
 }
 
-// Inner exposes the wrapped fuzzy barrier.
-func (b *FuzzyPoint) Inner() *core.FuzzyBarrier { return b.inner }
+// NewSplitPoint wraps a split-phase barrier under the given table name.
+func NewSplitPoint(name string, b core.SplitBarrier) *SplitPoint {
+	return &SplitPoint{name: name, inner: b}
+}
+
+// NewFuzzyPoint wraps a fresh central-counter fuzzy barrier for n
+// participants.
+func NewFuzzyPoint(n int) *SplitPoint {
+	return NewSplitPoint("fuzzy", core.NewFuzzyBarrier(n))
+}
+
+// Inner exposes the wrapped split-phase barrier.
+func (b *SplitPoint) Inner() core.SplitBarrier { return b.inner }
 
 // Await implements Barrier.
-func (b *FuzzyPoint) Await(id int) {
+func (b *SplitPoint) Await(id int) {
 	checkID(id, b.inner.N())
 	b.inner.Await()
 }
 
 // N implements Barrier.
-func (b *FuzzyPoint) N() int { return b.inner.N() }
+func (b *SplitPoint) N() int { return b.inner.N() }
 
 // Name implements Barrier.
-func (b *FuzzyPoint) Name() string { return "fuzzy" }
+func (b *SplitPoint) Name() string { return b.name }
 
 // Spins implements Barrier.
-func (b *FuzzyPoint) Spins() int64 {
+func (b *SplitPoint) Spins() int64 {
 	_, _, _, _, _, spinIters := b.inner.Stats()
 	return spinIters
 }
 
 // Episodes implements Barrier.
-func (b *FuzzyPoint) Episodes() int64 {
+func (b *SplitPoint) Episodes() int64 {
 	syncs, _, _, _, _, _ := b.inner.Stats()
 	return syncs
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 )
 
@@ -26,10 +25,8 @@ type DynamicBarrier struct {
 	// "last arrival completes the phase and resets the count" transition
 	// is atomic against concurrent joins and leaves.
 	state atomic.Uint64
-	epoch atomic.Int64
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	w phaseWaiter
 
 	// SpinLimit bounds the Wait fast path; 0 means DefaultSpinLimit.
 	SpinLimit int
@@ -51,7 +48,7 @@ func NewDynamicBarrier(initial int) *DynamicBarrier {
 	}
 	b := &DynamicBarrier{}
 	b.state.Store(packState(0, uint32(initial)))
-	b.cond = sync.NewCond(&b.mu)
+	b.w.init()
 	return b
 }
 
@@ -62,7 +59,7 @@ func (b *DynamicBarrier) Members() int {
 }
 
 // Epoch returns the number of completed phases.
-func (b *DynamicBarrier) Epoch() int64 { return b.epoch.Load() }
+func (b *DynamicBarrier) Epoch() int64 { return b.w.epoch.Load() }
 
 // Stats returns the barrier's counters (same shape as FuzzyBarrier).
 func (b *DynamicBarrier) Stats() (syncs, arrivals, fastWaits, spinWaits, blocks, spinIters int64) {
@@ -73,10 +70,7 @@ func (b *DynamicBarrier) Stats() (syncs, arrivals, fastWaits, spinWaits, blocks,
 // complete publishes a finished phase.
 func (b *DynamicBarrier) complete() {
 	b.stats.Syncs.Add(1)
-	b.mu.Lock()
-	b.epoch.Add(1)
-	b.cond.Broadcast()
-	b.mu.Unlock()
+	b.w.publish()
 }
 
 // Register adds one member. The new member has not arrived at the current
@@ -101,7 +95,7 @@ func (b *DynamicBarrier) Register() {
 // completes.
 func (b *DynamicBarrier) Arrive() Phase {
 	b.stats.Arrivals.Add(1)
-	e := b.epoch.Load()
+	e := b.w.epoch.Load()
 	for {
 		s := b.state.Load()
 		c, m := unpackState(s)
@@ -158,34 +152,13 @@ func (b *DynamicBarrier) ArriveAndLeave() {
 
 // TryWait reports whether the phase ticket's synchronization completed.
 func (b *DynamicBarrier) TryWait(p Phase) bool {
-	return b.epoch.Load() > p.epoch
+	return b.w.tryWait(p)
 }
 
 // Wait blocks until the ticket's phase completes, spinning briefly first
 // (the split-phase fast path).
 func (b *DynamicBarrier) Wait(p Phase) {
-	if b.epoch.Load() > p.epoch {
-		b.stats.FastWaits.Add(1)
-		return
-	}
-	limit := b.SpinLimit
-	if limit <= 0 {
-		limit = DefaultSpinLimit
-	}
-	for i := 0; i < limit; i++ {
-		if b.epoch.Load() > p.epoch {
-			b.stats.SpinWaits.Add(1)
-			b.stats.SpinIters.Add(int64(i + 1))
-			return
-		}
-	}
-	b.stats.SpinIters.Add(int64(limit))
-	b.stats.Blocks.Add(1)
-	b.mu.Lock()
-	for b.epoch.Load() <= p.epoch {
-		b.cond.Wait()
-	}
-	b.mu.Unlock()
+	b.w.wait(p, b.SpinLimit, &b.stats)
 }
 
 // Await is the point-barrier convenience: Arrive immediately followed by

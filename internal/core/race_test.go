@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// These stress tests exist to be run under the race detector
+// (`go test -race ./internal/core/...`, see the Makefile verify target):
+// every split-phase implementation pushes hundreds of phases through a
+// publish-then-read pattern, so any missing happens-before edge between
+// the last Arrive and a returning Wait surfaces as a reported race on
+// the plain (non-atomic) per-worker slots.
+
+// stressSplit drives workers through phases of: write my slot (plain
+// write), Arrive, barrier-region work, Wait, read every slot (plain
+// read). Without the barrier's ordering this is a textbook data race.
+func stressSplit(t *testing.T, b SplitBarrier, workers, phases int) {
+	t.Helper()
+	slots := make([]int, workers) // plain ints: the race detector's bait
+	var stale atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for p := 0; p < phases; p++ {
+				slots[id] = p + 1
+				ph := b.Arrive()
+				// Barrier-region work: occasionally poll TryWait, as a
+				// real region would to schedule more region work.
+				for i := 0; i < id%4; i++ {
+					b.TryWait(ph)
+				}
+				b.Wait(ph)
+				for j := range slots {
+					if slots[j] < p+1 {
+						stale.Add(1)
+					}
+				}
+				b.Await() // close the read window before the next phase
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := stale.Load(); n > 0 {
+		t.Errorf("%d stale slot reads (synchronization leaked)", n)
+	}
+	if got := b.Epoch(); got != int64(2*phases) {
+		t.Errorf("epoch = %d, want %d", got, 2*phases)
+	}
+}
+
+func TestRaceFuzzyBarrierStress(t *testing.T) {
+	stressSplit(t, NewFuzzyBarrier(8), 8, 300)
+}
+
+func TestRaceTreeBarrierStress(t *testing.T) {
+	stressSplit(t, NewTreeBarrier(8), 8, 300)
+	stressSplit(t, NewTreeBarrierRadix(13, 2), 13, 200)
+}
+
+// TestRaceDynamicBarrierChurn stresses DynamicBarrier with membership
+// churn: a fixed core of members synchronizes for the whole run while
+// transient members register, ride along for a few phases, and leave.
+func TestRaceDynamicBarrierChurn(t *testing.T) {
+	const fixed = 4
+	const phases = 300
+	const churners = 6
+	b := NewDynamicBarrier(fixed)
+	var data [fixed + churners]int // plain writes ordered only by the barrier
+	var wg sync.WaitGroup
+
+	for w := 0; w < fixed; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for p := 0; p < phases; p++ {
+				data[id]++
+				ph := b.Arrive()
+				b.Wait(ph)
+			}
+			b.ArriveAndLeave()
+		}(w)
+	}
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Join, synchronize for a few phases, leave — repeatedly.
+			for round := 0; round < 10; round++ {
+				b.Register()
+				for p := 0; p < 5+id; p++ {
+					data[fixed+id]++
+					ph := b.Arrive()
+					b.Wait(ph)
+				}
+				b.ArriveAndLeave()
+			}
+		}(c)
+	}
+	wg.Wait()
+	if got := b.Members(); got != 0 {
+		t.Errorf("members after drain = %d, want 0", got)
+	}
+	if b.Epoch() < phases {
+		t.Errorf("epoch = %d, want >= %d", b.Epoch(), phases)
+	}
+	var total int
+	for _, v := range data {
+		total += v
+	}
+	if total == 0 {
+		t.Error("no work recorded")
+	}
+}

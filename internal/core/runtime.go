@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 	"sync/atomic"
 )
 
@@ -20,7 +19,11 @@ import (
 // the baselines for experiment E1 are built.
 //
 // The implementation is a central-counter epoch barrier: an atomic
-// arrival counter plus an epoch number. The fast path of Wait spins a
+// arrival counter plus an epoch number. Every participant hammers the one
+// counter, so the arrival phase serializes on a single cache line — fine
+// on a handful of processors (the paper's Multimax had four), a hot spot
+// at larger scale; TreeBarrier is the same contract with combining-tree
+// arrivals for large participant counts. The fast path of Wait spins a
 // bounded number of times (SpinLimit) before blocking on a condition
 // variable; blocking is counted in Stats because the Encore measurement
 // attributes the cost of conventional barriers to exactly these
@@ -29,10 +32,8 @@ type FuzzyBarrier struct {
 	n     int64
 	tag   Tag // identity, for multi-barrier setups (Section 5); informational
 	count atomic.Int64
-	epoch atomic.Int64
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	w phaseWaiter
 
 	// SpinLimit bounds the Wait fast path; 0 means DefaultSpinLimit.
 	SpinLimit int
@@ -65,7 +66,7 @@ func NewFuzzyBarrier(n int) *FuzzyBarrier {
 		panic(fmt.Sprintf("core: fuzzy barrier size %d < 1", n))
 	}
 	b := &FuzzyBarrier{n: int64(n)}
-	b.cond = sync.NewCond(&b.mu)
+	b.w.init()
 	return b
 }
 
@@ -89,6 +90,14 @@ func (b *FuzzyBarrier) Stats() (syncs, arrivals, fastWaits, spinWaits, blocks, s
 		b.stats.SpinWaits.Load(), b.stats.Blocks.Load(), b.stats.SpinIters.Load()
 }
 
+// HotspotOps implements ArriveProfiler: every arrival's add and every
+// episode's reset land on the single shared counter, so the hottest-word
+// traffic is Arrivals + Syncs — n+1 operations per phase, the linear
+// hot spot of Section 1.
+func (b *FuzzyBarrier) HotspotOps() (ops, phases int64) {
+	return b.stats.Arrivals.Load() + b.stats.Syncs.Load(), b.stats.Syncs.Load()
+}
+
 // Arrive signals that the caller is ready to synchronize and returns the
 // phase ticket to pass to Wait. It never blocks.
 //
@@ -98,7 +107,7 @@ func (b *FuzzyBarrier) Stats() (syncs, arrivals, fastWaits, spinWaits, blocks, s
 // invalid-branch bug.)
 func (b *FuzzyBarrier) Arrive() Phase {
 	b.stats.Arrivals.Add(1)
-	e := b.epoch.Load()
+	e := b.w.epoch.Load()
 	if b.count.Add(1) == b.n {
 		// Last arriver completes the episode: reset the counter for the
 		// next phase, then publish the new epoch. No participant can
@@ -106,10 +115,7 @@ func (b *FuzzyBarrier) Arrive() Phase {
 		// because its Wait for this phase has not returned yet.
 		b.count.Store(0)
 		b.stats.Syncs.Add(1)
-		b.mu.Lock()
-		b.epoch.Add(1)
-		b.cond.Broadcast()
-		b.mu.Unlock()
+		b.w.publish()
 	}
 	return Phase{epoch: e}
 }
@@ -118,35 +124,14 @@ func (b *FuzzyBarrier) Arrive() Phase {
 // occurred, without blocking — the software analog of the hardware's
 // "processor is in the barrier region and has synchronized" state.
 func (b *FuzzyBarrier) TryWait(p Phase) bool {
-	return b.epoch.Load() > p.epoch
+	return b.w.tryWait(p)
 }
 
 // Wait blocks until every participant has arrived at phase p. It spins
 // briefly before blocking so that well-balanced regions never pay for a
 // context switch.
 func (b *FuzzyBarrier) Wait(p Phase) {
-	if b.epoch.Load() > p.epoch {
-		b.stats.FastWaits.Add(1)
-		return
-	}
-	limit := b.SpinLimit
-	if limit <= 0 {
-		limit = DefaultSpinLimit
-	}
-	for i := 0; i < limit; i++ {
-		if b.epoch.Load() > p.epoch {
-			b.stats.SpinWaits.Add(1)
-			b.stats.SpinIters.Add(int64(i + 1))
-			return
-		}
-	}
-	b.stats.SpinIters.Add(int64(limit))
-	b.stats.Blocks.Add(1)
-	b.mu.Lock()
-	for b.epoch.Load() <= p.epoch {
-		b.cond.Wait()
-	}
-	b.mu.Unlock()
+	b.w.wait(p, b.SpinLimit, &b.stats)
 }
 
 // Await is the conventional point barrier: Arrive immediately followed by
@@ -156,4 +141,4 @@ func (b *FuzzyBarrier) Await() {
 }
 
 // Epoch returns the number of completed synchronization episodes.
-func (b *FuzzyBarrier) Epoch() int64 { return b.epoch.Load() }
+func (b *FuzzyBarrier) Epoch() int64 { return b.w.epoch.Load() }

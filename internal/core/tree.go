@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"unsafe"
+)
+
+// TreeBarrier is a combining-tree fuzzy barrier: the same split-phase
+// Arrive/Wait contract as FuzzyBarrier, but arrivals are counted up a
+// radix-k tree of cache-line-padded counters instead of one central
+// counter. No single memory word receives more than ~k atomic operations
+// per phase, so the arrival phase stops being the hot spot the paper's
+// Section 1 charges software barriers with; departure stays a single
+// read-shared epoch broadcast. Among the logarithmic barriers this is
+// the one that cleanly supports the fuzzy arrive/depart split — the
+// dissemination and tournament baselines interleave their signal rounds
+// with waiting, so they cannot return from Arrive without blocking.
+//
+// Participants are anonymous (Arrive takes no id, exactly like
+// FuzzyBarrier), so arrivals route themselves: each Arrive hashes the
+// caller's stack address to a home leaf and claims a slot there, probing
+// to the neighbor leaf when its home is already full for the phase.
+// Distinct goroutines live on distinct stacks, so a stable group of
+// workers spreads across leaves and keeps re-hitting its own (cache-warm)
+// leaf every phase.
+//
+// Counters are cumulative across phases — node n's target for phase e is
+// quota·(e+1) — which removes the reset step entirely: there is nothing
+// to reset, so there is no reset/next-arrival race and no spinning
+// anywhere in Arrive. The filling arrival of a node propagates one token
+// to its parent; whoever completes the root publishes the epoch.
+type TreeBarrier struct {
+	n       int
+	radix   int
+	nLeaves int
+	nodes   []treeBarrierNode
+
+	w phaseWaiter
+
+	// SpinLimit bounds the Wait fast path; 0 means DefaultSpinLimit.
+	SpinLimit int
+
+	stats RuntimeStats
+}
+
+// treeBarrierNode is one counter of the combining tree, padded to two
+// cache lines so neighboring nodes never false-share (the second line
+// defeats the adjacent-line prefetcher).
+type treeBarrierNode struct {
+	count  atomic.Int64 // cumulative arrival tokens: quota per phase
+	probes atomic.Int64 // overshoot undos charged to this node
+	quota  int64        // tokens that complete this node for one phase
+	parent int          // index of parent node, -1 at the root
+	_      [96]byte
+}
+
+// DefaultTreeRadix is the fan-in used by NewTreeBarrier.
+const DefaultTreeRadix = 4
+
+// NewTreeBarrier creates a combining-tree fuzzy barrier for n
+// participants (n >= 1) with the default radix.
+func NewTreeBarrier(n int) *TreeBarrier { return NewTreeBarrierRadix(n, DefaultTreeRadix) }
+
+// NewTreeBarrierRadix creates a combining-tree fuzzy barrier with the
+// given fan-in (values < 2 select DefaultTreeRadix).
+func NewTreeBarrierRadix(n, radix int) *TreeBarrier {
+	if n < 1 {
+		panic(fmt.Sprintf("core: tree barrier size %d < 1", n))
+	}
+	if radix < 2 {
+		radix = DefaultTreeRadix
+	}
+	b := &TreeBarrier{n: n, radix: radix}
+	b.w.init()
+
+	// Leaves: per-phase capacities sum to exactly n.
+	nLeaves := (n + radix - 1) / radix
+	b.nLeaves = nLeaves
+	b.nodes = make([]treeBarrierNode, 0, 2*nLeaves)
+	for i := 0; i < nLeaves; i++ {
+		q := radix
+		if i == nLeaves-1 {
+			q = n - radix*(nLeaves-1)
+		}
+		b.nodes = append(b.nodes, treeBarrierNode{quota: int64(q), parent: -1})
+	}
+	// Interior levels: each node's quota is its child count.
+	first, count := 0, nLeaves
+	for count > 1 {
+		inner := (count + radix - 1) / radix
+		base := len(b.nodes)
+		for i := 0; i < inner; i++ {
+			q := radix
+			if i == inner-1 {
+				q = count - radix*(inner-1)
+			}
+			b.nodes = append(b.nodes, treeBarrierNode{quota: int64(q), parent: -1})
+		}
+		for i := 0; i < count; i++ {
+			b.nodes[first+i].parent = base + i/radix
+		}
+		first, count = base, inner
+	}
+	return b
+}
+
+// N returns the number of participants.
+func (b *TreeBarrier) N() int { return b.n }
+
+// Radix returns the tree fan-in.
+func (b *TreeBarrier) Radix() int { return b.radix }
+
+// Depth returns the number of tree levels above the participants; the
+// arrival critical path is Depth atomic operations.
+func (b *TreeBarrier) Depth() int {
+	d, node := 0, 0
+	for node >= 0 {
+		d++
+		node = b.nodes[node].parent
+	}
+	return d
+}
+
+// Epoch returns the number of completed synchronization episodes.
+func (b *TreeBarrier) Epoch() int64 { return b.w.epoch.Load() }
+
+// Stats returns a snapshot of the barrier's counters.
+func (b *TreeBarrier) Stats() (syncs, arrivals, fastWaits, spinWaits, blocks, spinIters int64) {
+	return b.stats.Syncs.Load(), b.stats.Arrivals.Load(), b.stats.FastWaits.Load(),
+		b.stats.SpinWaits.Load(), b.stats.Blocks.Load(), b.stats.SpinIters.Load()
+}
+
+// Probes returns the number of arrive-side leaf probes that found their
+// leaf already full and moved on — the routing cost of anonymity.
+func (b *TreeBarrier) Probes() int64 {
+	var total int64
+	for i := 0; i < b.nLeaves; i++ {
+		total += b.nodes[i].probes.Load()
+	}
+	return total
+}
+
+// HotspotOps implements ArriveProfiler: the atomic-operation traffic on
+// the hottest single node, plus the phase count to normalize by. Each
+// phase a node absorbs quota adds, and a leaf additionally pays two
+// operations (add + undo) per full-probe.
+func (b *TreeBarrier) HotspotOps() (ops, phases int64) {
+	phases = b.stats.Syncs.Load()
+	for i := range b.nodes {
+		v := b.nodes[i].count.Load() + 2*b.nodes[i].probes.Load()
+		if v > ops {
+			ops = v
+		}
+	}
+	return ops, phases
+}
+
+// Arrive signals that the caller is ready to synchronize and returns the
+// phase ticket to pass to Wait. It never blocks and never spins on a
+// remote value: at most nLeaves-1 fruitless probes plus a Depth-bounded
+// climb.
+func (b *TreeBarrier) Arrive() Phase {
+	b.stats.Arrivals.Add(1)
+	e := b.w.epoch.Load()
+	target := e + 1
+
+	// Home leaf from the caller's stack address: distinct goroutines
+	// occupy distinct stacks, so a worker group spreads across leaves
+	// while each worker keeps re-hitting the same warm leaf. Stack bases
+	// are allocation-size aligned, so the raw address must be mixed
+	// (Fibonacci hashing) before reduction or most bits collide. (The
+	// address is only hashed, never dereferenced or retained.)
+	var probe byte
+	h := uint64(uintptr(unsafe.Pointer(&probe))) * 0x9E3779B97F4A7C15
+	leaf := int((h >> 32) % uint64(b.nLeaves))
+
+	for {
+		nd := &b.nodes[leaf]
+		full := nd.quota * target
+		if v := nd.count.Add(1); v <= full {
+			if v == full {
+				b.climb(nd.parent, target)
+			}
+			return Phase{epoch: e}
+		}
+		// The leaf is already full for this phase. Undo the overshoot
+		// and probe the next leaf; total capacity is exactly n, so a
+		// free slot exists. Once a leaf's count reaches its phase
+		// target it never dips below it (every undo cancels its own
+		// overshoot), so the exact target value is returned to exactly
+		// one arrival — the one that climbs.
+		nd.count.Add(-1)
+		nd.probes.Add(1)
+		leaf++
+		if leaf == b.nLeaves {
+			leaf = 0
+		}
+	}
+}
+
+// climb propagates one completion token upward from the given node; the
+// arrival that completes the root publishes the new epoch. Interior
+// nodes receive exactly quota tokens per phase (one per child), so no
+// overshoot handling is needed above the leaves.
+func (b *TreeBarrier) climb(node int, target int64) {
+	for node >= 0 {
+		nd := &b.nodes[node]
+		if nd.count.Add(1) != nd.quota*target {
+			return
+		}
+		node = nd.parent
+	}
+	b.stats.Syncs.Add(1)
+	b.w.publish()
+}
+
+// TryWait reports whether synchronization for the given phase has
+// occurred, without blocking.
+func (b *TreeBarrier) TryWait(p Phase) bool { return b.w.tryWait(p) }
+
+// Wait blocks until every participant has arrived at phase p, spinning
+// briefly before blocking so well-balanced regions never pay for a
+// context switch.
+func (b *TreeBarrier) Wait(p Phase) { b.w.wait(p, b.SpinLimit, &b.stats) }
+
+// Await is the conventional point barrier: Arrive immediately followed
+// by Wait.
+func (b *TreeBarrier) Await() { b.Wait(b.Arrive()) }

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// phaseWaiter is the publish/wait half of a split-phase barrier: an
+// atomically readable epoch counter published under a mutex, and the
+// bounded-spin-then-cond-block slow path of Wait. FuzzyBarrier,
+// DynamicBarrier and TreeBarrier differ only in how arrivals are
+// *counted*; how a completed phase is published and waited on is
+// identical, so it lives here once.
+//
+// Blocking is counted in RuntimeStats because the Encore measurement
+// attributes the cost of conventional barriers to exactly these
+// context-save/restore events (Section 8).
+type phaseWaiter struct {
+	epoch atomic.Int64
+
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func (w *phaseWaiter) init() { w.cond = sync.NewCond(&w.mu) }
+
+// publish completes one phase: the epoch advances under the mutex so a
+// concurrent blocked waiter cannot miss the broadcast.
+func (w *phaseWaiter) publish() {
+	w.mu.Lock()
+	w.epoch.Add(1)
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// tryWait reports whether the ticket's phase has completed.
+func (w *phaseWaiter) tryWait(p Phase) bool { return w.epoch.Load() > p.epoch }
+
+// wait blocks until the ticket's phase completes: fast path if already
+// complete, then at most spinLimit spins, then a condition-variable
+// block. spinLimit <= 0 selects DefaultSpinLimit.
+func (w *phaseWaiter) wait(p Phase, spinLimit int, stats *RuntimeStats) {
+	if w.epoch.Load() > p.epoch {
+		stats.FastWaits.Add(1)
+		return
+	}
+	if spinLimit <= 0 {
+		spinLimit = DefaultSpinLimit
+	}
+	for i := 0; i < spinLimit; i++ {
+		if w.epoch.Load() > p.epoch {
+			stats.SpinWaits.Add(1)
+			stats.SpinIters.Add(int64(i + 1))
+			return
+		}
+	}
+	stats.SpinIters.Add(int64(spinLimit))
+	stats.Blocks.Add(1)
+	w.mu.Lock()
+	for w.epoch.Load() <= p.epoch {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}

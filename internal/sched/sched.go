@@ -37,29 +37,40 @@ func (a Assignment) MaxCount() int {
 	return m
 }
 
-// Block assigns contiguous blocks: processor p gets iterations
-// [p·⌈n/procs⌉, min(n, (p+1)·⌈n/procs⌉)).
+// Block assigns contiguous blocks with a balanced floor/remainder split:
+// every processor gets ⌊n/procs⌋ iterations and the first n mod procs
+// processors take one extra, so per-processor counts differ by at most
+// one. (A naive ⌈n/procs⌉ chunking leaves whole processors idle — e.g.
+// 9 iterations on 8 processors would yield [2 2 2 2 1 0 0 0] instead of
+// [2 1 1 1 1 1 1 1] — which skews the imbalance experiments.)
 func Block(n, procs int) Assignment {
+	if procs <= 0 {
+		return Assignment{}
+	}
 	out := make(Assignment, procs)
-	if n <= 0 || procs <= 0 {
+	if n <= 0 {
 		return out
 	}
-	chunk := (n + procs - 1) / procs
+	base, rem := n/procs, n%procs
+	lo := 0
 	for p := 0; p < procs; p++ {
-		lo := p * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+		size := base
+		if p < rem {
+			size++
 		}
-		for i := lo; i < hi; i++ {
+		for i := lo; i < lo+size; i++ {
 			out[p] = append(out[p], i)
 		}
+		lo += size
 	}
 	return out
 }
 
 // Cyclic deals iterations round-robin: processor p gets p, p+procs, ...
 func Cyclic(n, procs int) Assignment {
+	if procs <= 0 {
+		return Assignment{}
+	}
 	out := make(Assignment, procs)
 	for i := 0; i < n; i++ {
 		out[i%procs] = append(out[i%procs], i)
@@ -72,10 +83,10 @@ func Cyclic(n, procs int) Assignment {
 // by the round number, so over procs consecutive rounds every processor
 // executes the same total number of iterations even when n % procs != 0.
 func Rotating(n, procs, round int) Assignment {
-	out := make(Assignment, procs)
 	if procs <= 0 {
-		return out
+		return Assignment{}
 	}
+	out := make(Assignment, procs)
 	shift := round % procs
 	if shift < 0 {
 		shift += procs

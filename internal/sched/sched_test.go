@@ -28,8 +28,8 @@ func coversAll(t *testing.T, a Assignment, n int, label string) {
 func TestBlockAssignment(t *testing.T) {
 	a := Block(10, 3)
 	coversAll(t, a, 10, "block")
-	if got := a.Counts(); got[0] != 4 || got[1] != 4 || got[2] != 2 {
-		t.Errorf("counts = %v, want [4 4 2]", got)
+	if got := a.Counts(); got[0] != 4 || got[1] != 3 || got[2] != 3 {
+		t.Errorf("counts = %v, want [4 3 3]", got)
 	}
 	if a.MaxCount() != 4 {
 		t.Errorf("max = %d, want 4", a.MaxCount())
@@ -39,6 +39,61 @@ func TestBlockAssignment(t *testing.T) {
 		for k := 1; k < len(its); k++ {
 			if its[k] != its[k-1]+1 {
 				t.Errorf("block %d not contiguous: %v", p, its)
+			}
+		}
+	}
+}
+
+// TestBlockBalanced is the regression test for the idle-processor bug:
+// ceil-chunking Block(9, 8) produced [2 2 2 2 1 0 0 0], idling three
+// processors. The balanced split keeps every processor busy and the
+// per-processor counts within 1 of each other.
+func TestBlockBalanced(t *testing.T) {
+	a := Block(9, 8)
+	coversAll(t, a, 9, "block-9x8")
+	want := []int{2, 1, 1, 1, 1, 1, 1, 1}
+	for p, w := range want {
+		if len(a[p]) != w {
+			t.Fatalf("counts = %v, want %v", a.Counts(), want)
+		}
+	}
+	// Property: for any n, procs the spread is at most one iteration.
+	for n := 0; n <= 40; n++ {
+		for procs := 1; procs <= 12; procs++ {
+			counts := Block(n, procs).Counts()
+			min, max := counts[0], counts[0]
+			for _, c := range counts {
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("Block(%d,%d): counts %v spread %d > 1", n, procs, counts, max-min)
+			}
+		}
+	}
+}
+
+// TestDegenerateProcs is the regression test for the divide-by-zero
+// panic: Cyclic(n, 0) crashed with n > 0, and all three generators
+// panicked in make() for negative procs. Each must return an empty
+// Assignment instead.
+func TestDegenerateProcs(t *testing.T) {
+	for _, procs := range []int{0, -1} {
+		for _, gen := range []struct {
+			name string
+			f    func() Assignment
+		}{
+			{"block", func() Assignment { return Block(5, procs) }},
+			{"cyclic", func() Assignment { return Cyclic(5, procs) }},
+			{"rotating", func() Assignment { return Rotating(5, procs, 2) }},
+		} {
+			a := gen.f()
+			if len(a) != 0 || a.MaxCount() != 0 {
+				t.Errorf("%s(5, %d) = %v, want empty", gen.name, procs, a)
 			}
 		}
 	}

@@ -148,6 +148,7 @@ type Histogram struct {
 	Counts  []int64
 	Under   int64 // observations below Lo
 	Over    int64 // observations at or above Lo+Width*len(Counts)
+	Invalid int64 // NaN observations, which no bucket can hold
 	Samples int64
 }
 
@@ -161,19 +162,28 @@ func NewHistogram(lo, width float64, n int) *Histogram {
 	return &Histogram{Lo: lo, Width: width, Counts: make([]int64, n)}
 }
 
-// Observe records a single observation.
+// Observe records a single observation. NaN is counted in Invalid, -Inf
+// in Under and +Inf in Over; no input can panic. (Converting a huge or
+// non-finite float to int is platform-defined in Go — on amd64 it
+// produces math.MinInt64, which used to index out of range.)
 func (h *Histogram) Observe(x float64) {
 	h.Samples++
+	if math.IsNaN(x) {
+		h.Invalid++
+		return
+	}
 	if x < h.Lo {
 		h.Under++
 		return
 	}
-	idx := int((x - h.Lo) / h.Width)
-	if idx >= len(h.Counts) {
-		h.Over++
+	// Bucket in float space first: the quotient can exceed int range (or
+	// be NaN when Lo is infinite), so compare before converting.
+	idx := (x - h.Lo) / h.Width
+	if idx < float64(len(h.Counts)) {
+		h.Counts[int(idx)]++
 		return
 	}
-	h.Counts[idx]++
+	h.Over++
 }
 
 // Bucket returns the [lo, hi) bounds of bucket i.
@@ -195,6 +205,9 @@ func (h *Histogram) String() string {
 	if h.Over > 0 {
 		lo, _ := h.Bucket(len(h.Counts))
 		out += fmt.Sprintf("  >=%g: %d\n", lo, h.Over)
+	}
+	if h.Invalid > 0 {
+		out += fmt.Sprintf("  NaN: %d\n", h.Invalid)
 	}
 	return out
 }

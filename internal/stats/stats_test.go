@@ -88,6 +88,50 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestHistogramNonFinite is the regression test for the Observe panic:
+// int((NaN-Lo)/Width) is math.MinInt64 on amd64, which indexed Counts at
+// [-9223372036854775808]. NaN, infinities and huge finite values must
+// all be counted, never panic.
+func TestHistogramNonFinite(t *testing.T) {
+	h := NewHistogram(0, 10, 3)
+	for _, x := range []float64{
+		math.NaN(),
+		math.Inf(1),
+		math.Inf(-1),
+		1e300,  // (x-Lo)/Width overflows int64
+		-1e300, // far below Lo
+		5,      // one normal observation
+	} {
+		h.Observe(x)
+	}
+	if h.Invalid != 1 {
+		t.Errorf("invalid = %d, want 1 (NaN)", h.Invalid)
+	}
+	if h.Under != 2 {
+		t.Errorf("under = %d, want 2 (-Inf, -1e300)", h.Under)
+	}
+	if h.Over != 2 {
+		t.Errorf("over = %d, want 2 (+Inf, 1e300)", h.Over)
+	}
+	if h.Counts[0] != 1 {
+		t.Errorf("counts = %v, want one sample in bucket 0", h.Counts)
+	}
+	if h.Samples != 6 {
+		t.Errorf("samples = %d, want 6", h.Samples)
+	}
+	// The NaN line must render.
+	if s := h.String(); s == "" {
+		t.Error("histogram renders empty")
+	}
+	// Exact top edge goes to Over, one ulp below stays in range.
+	edge := NewHistogram(0, 10, 3)
+	edge.Observe(30)
+	edge.Observe(math.Nextafter(30, 0))
+	if edge.Over != 1 || edge.Counts[2] != 1 {
+		t.Errorf("edge: over=%d counts=%v", edge.Over, edge.Counts)
+	}
+}
+
 func TestHistogramPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
