@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench fmt-check
+.PHONY: verify build vet test race bench bench-smoke fmt-check
 
 verify: build vet race fmt-check
 
@@ -24,6 +24,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# CI-sized benchmark smoke test: one iteration of the n=8 split-scaling
+# points, plus the allocs/op=0 check on the barrier hot path.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'E2SplitScaling/[^/]*/p8/region=0$$' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BarrierHotPathAllocs' -benchtime 100x -benchmem ./internal/core
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -359,6 +359,10 @@ func BenchmarkE12InterruptTolerance(b *testing.B) { benchExperiment(b, "E12") }
 // extension table (procedure calls from barrier regions).
 func BenchmarkE13ProcedureCalls(b *testing.B) { benchExperiment(b, "E13") }
 
+// BenchmarkE14PhaseAttribution regenerates the per-phase stall
+// attribution table (observability extension).
+func BenchmarkE14PhaseAttribution(b *testing.B) { benchExperiment(b, "E14") }
+
 // ---------------------------------------------------------------------
 // Ablations (DESIGN.md §5)
 // ---------------------------------------------------------------------

@@ -16,7 +16,9 @@
 // deterministic version of this experiment is cmd/experiments -id E2).
 // For split barriers the tool also prints hotspot ops/phase — the atomic
 // traffic on the most-contended counter word, which is deterministic and
-// shows the central-vs-tree crossover regardless of host core count.
+// shows the central-vs-tree crossover regardless of host core count —
+// plus the barrier's counter/histogram snapshot (syncs, fast/spin/blocked
+// waits, wait-spin histogram); disable the snapshot with -stats=false.
 package main
 
 import (
@@ -104,6 +106,7 @@ func main() {
 	impl := flag.String("impl", "", "single implementation (default: all)")
 	work := flag.Int("work", 20, "per-episode non-barrier work units (split barriers only)")
 	region := flag.Int("region", 0, "per-episode barrier-region work units (split barriers only)")
+	stats := flag.Bool("stats", true, "print the barrier's counter/histogram snapshot (split barriers only)")
 	flag.Parse()
 
 	if *procs > runtime.GOMAXPROCS(0) {
@@ -130,6 +133,9 @@ func main() {
 			}
 			fmt.Printf("%-16s procs=%-3d episodes=%-8d region=%-4d total=%-12v per-episode=%v%s\n",
 				name+"(split)", *procs, *episodes, *region, d, d/time.Duration(*episodes), hotspot)
+			if *stats {
+				fmt.Printf("%-16s %s\n", "", b.StatsSnapshot())
+			}
 			continue
 		}
 		d, err := measurePoint(name, *procs, *episodes)

@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	experiments             # run all experiments, print tables
-//	experiments -id E3      # run one experiment
-//	experiments -list       # list experiment IDs and titles
-//	experiments -csv        # emit CSV instead of fixed-width tables
-//	experiments -out DIR    # also write one .txt and .csv per experiment
+//	experiments                  # run all experiments, print tables
+//	experiments -id E3           # run one experiment
+//	experiments -list            # list experiment IDs and titles
+//	experiments -csv             # emit CSV instead of fixed-width tables
+//	experiments -out DIR         # also write one .txt and .csv per experiment
+//	experiments -trace-out FILE  # write a Chrome trace of the drift workload
 package main
 
 import (
@@ -24,7 +25,19 @@ func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	csv := flag.Bool("csv", false, "emit CSV")
 	outDir := flag.String("out", "", "also write per-experiment .txt and .csv files to this directory")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the E14 drift workload")
 	flag.Parse()
+
+	if *traceOut != "" {
+		if err := writeShowcaseTrace(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace: %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+		if *id == "" && !*list {
+			return
+		}
+	}
 
 	if *list {
 		for _, e := range exp.All() {
@@ -75,4 +88,22 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeShowcaseTrace runs the E14 drift workload with a recorder attached
+// and writes its Chrome trace-event export to path.
+func writeShowcaseTrace(path string) error {
+	rec, err := exp.TracedShowcase()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

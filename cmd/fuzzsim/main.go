@@ -11,13 +11,15 @@
 //
 // Flags:
 //
-//	-procs N      replicate a single program onto N processors
-//	-trace        print a per-cycle Gantt chart and the event log
-//	-mem WORDS    shared-memory size in words (default 65536)
-//	-miss N       force every N-th access to miss (drift injection)
-//	-modules N    number of memory modules (default = processors)
-//	-max N        cycle limit (default 50,000,000)
-//	-peek A,B     print memory words A..B after the run
+//	-procs N        replicate a single program onto N processors
+//	-trace          print a per-cycle Gantt chart and the event log
+//	-trace-out FILE write a Chrome trace-event JSON (chrome://tracing, Perfetto)
+//	-phases         print per-phase cycle attribution (one row per barrier episode)
+//	-mem WORDS      shared-memory size in words (default 65536)
+//	-miss N         force every N-th access to miss (drift injection)
+//	-modules N      number of memory modules (default = processors)
+//	-max N          cycle limit (default 50,000,000)
+//	-peek A,B       print memory words A..B after the run
 package main
 
 import (
@@ -36,6 +38,8 @@ import (
 func main() {
 	procs := flag.Int("procs", 0, "replicate a single program onto N processors")
 	doTrace := flag.Bool("trace", false, "print Gantt chart and events")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file")
+	doPhases := flag.Bool("phases", false, "print per-phase cycle attribution")
 	memWords := flag.Int("mem", 1<<16, "shared memory words")
 	miss := flag.Int("miss", 0, "force every N-th access to miss")
 	modules := flag.Int("modules", 0, "memory modules (default: one per processor)")
@@ -80,8 +84,12 @@ func main() {
 		mods = n
 	}
 	var rec *trace.Recorder
-	if *doTrace {
+	if *doTrace || *traceOut != "" {
 		rec = trace.NewRecorder(n)
+	}
+	var ph *trace.Phases
+	if *doPhases {
+		ph = trace.NewPhases(n)
 	}
 	m := machine.New(machine.Config{
 		Procs: n,
@@ -94,6 +102,7 @@ func main() {
 		},
 		MaxCycles: *maxCycles,
 		Recorder:  rec,
+		Phases:    ph,
 	})
 	for p, prog := range progs {
 		if err := m.Load(p, prog); err != nil {
@@ -122,6 +131,24 @@ func main() {
 		for _, ev := range rec.Events() {
 			fmt.Printf("cycle %-6d P%-3d %s\n", ev.Cycle, ev.Proc, ev.What)
 		}
+	}
+	if *doPhases {
+		fmt.Println()
+		fmt.Println(ph.Table("per-phase cycle attribution (phase = barrier episode)"))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chrome trace: %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
 	}
 	if *peek != "" {
 		parts := strings.SplitN(*peek, ",", 2)

@@ -27,7 +27,13 @@
 //     tournament);
 //   - internal/sched, internal/workload, internal/exp — schedulers,
 //     workload generators and the experiment harness regenerating every
-//     table and figure of the paper (cmd/experiments).
+//     table and figure of the paper (cmd/experiments);
+//   - internal/trace, internal/stats — observability: Gantt/event
+//     recording, per-phase cycle attribution (Phases), Chrome
+//     trace-event export (WriteChrome), table rendering and numeric
+//     helpers; the runtime barriers expose counter/histogram snapshots
+//     (core.BarrierStats). All hooks accept nil receivers and are
+//     allocation-free when disabled.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // EXPERIMENTS.md for paper-vs-measured results.

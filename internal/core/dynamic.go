@@ -67,6 +67,10 @@ func (b *DynamicBarrier) Stats() (syncs, arrivals, fastWaits, spinWaits, blocks,
 		b.stats.SpinWaits.Load(), b.stats.Blocks.Load(), b.stats.SpinIters.Load()
 }
 
+// StatsSnapshot returns the full observability snapshot, including the
+// wait-spin histogram.
+func (b *DynamicBarrier) StatsSnapshot() BarrierStats { return b.stats.Snapshot() }
+
 // complete publishes a finished phase.
 func (b *DynamicBarrier) complete() {
 	b.stats.Syncs.Add(1)

@@ -42,7 +42,8 @@ type FuzzyBarrier struct {
 }
 
 // RuntimeStats counts the events that matter for the Section 8
-// measurement.
+// measurement. Snapshot copies the live counters into the exported
+// BarrierStats form.
 type RuntimeStats struct {
 	Syncs     atomic.Int64 // completed barrier episodes
 	Arrivals  atomic.Int64 // total Arrive calls
@@ -50,6 +51,10 @@ type RuntimeStats struct {
 	SpinWaits atomic.Int64 // Waits satisfied during the spin phase
 	Blocks    atomic.Int64 // Waits that had to block (the expensive case)
 	SpinIters atomic.Int64 // total spin iterations across all Waits
+
+	// waitSpins histograms the spin iterations of spin-resolved Waits
+	// (power-of-four buckets; see WaitBucketLabel).
+	waitSpins [NumWaitBuckets]atomic.Int64
 }
 
 // DefaultSpinLimit is the spin budget of Wait before it blocks.
@@ -89,6 +94,10 @@ func (b *FuzzyBarrier) Stats() (syncs, arrivals, fastWaits, spinWaits, blocks, s
 	return b.stats.Syncs.Load(), b.stats.Arrivals.Load(), b.stats.FastWaits.Load(),
 		b.stats.SpinWaits.Load(), b.stats.Blocks.Load(), b.stats.SpinIters.Load()
 }
+
+// StatsSnapshot returns the full observability snapshot, including the
+// wait-spin histogram.
+func (b *FuzzyBarrier) StatsSnapshot() BarrierStats { return b.stats.Snapshot() }
 
 // HotspotOps implements ArriveProfiler: every arrival's add and every
 // episode's reset land on the single shared counter, so the hottest-word

@@ -29,6 +29,9 @@ type SplitBarrier interface {
 	Epoch() int64
 	// Stats returns the runtime counters (see RuntimeStats).
 	Stats() (syncs, arrivals, fastWaits, spinWaits, blocks, spinIters int64)
+	// StatsSnapshot returns the full observability snapshot, including
+	// the wait-spin histogram (see BarrierStats).
+	StatsSnapshot() BarrierStats
 }
 
 // ArriveProfiler is optionally implemented by split barriers that can

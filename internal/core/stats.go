@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NumWaitBuckets is the number of buckets in the wait-spin histogram:
+// power-of-four buckets over the spin iterations a spin-resolved Wait
+// needed, i.e. upper bounds 1, 4, 16, 64, 256 and an overflow bucket.
+const NumWaitBuckets = 6
+
+// waitBucket maps a spin-iteration count to its histogram bucket.
+func waitBucket(iters int64) int {
+	b, bound := 0, int64(1)
+	for b < NumWaitBuckets-1 && iters > bound {
+		b++
+		bound *= 4
+	}
+	return b
+}
+
+// WaitBucketLabel returns a human-readable label for wait-spin bucket i
+// ("<=1", "<=4", ..., ">256").
+func WaitBucketLabel(i int) string {
+	if i >= NumWaitBuckets-1 {
+		return fmt.Sprintf(">%d", pow4(NumWaitBuckets-2))
+	}
+	return fmt.Sprintf("<=%d", pow4(i))
+}
+
+func pow4(n int) int64 {
+	v := int64(1)
+	for i := 0; i < n; i++ {
+		v *= 4
+	}
+	return v
+}
+
+// BarrierStats is a point-in-time snapshot of a runtime barrier's
+// counters: the observability surface shared by FuzzyBarrier,
+// DynamicBarrier and TreeBarrier and rendered by cmd/barbench. The
+// counters themselves are plain atomics bumped on the Arrive/Wait hot
+// path — no locks, no allocation — so keeping them always-on costs a
+// handful of uncontended atomic adds per episode.
+type BarrierStats struct {
+	Syncs     int64 // completed barrier episodes
+	Arrivals  int64 // total Arrive calls
+	FastWaits int64 // Waits satisfied without spinning (already synced)
+	SpinWaits int64 // Waits satisfied during the spin phase
+	Blocks    int64 // Waits that had to block (the expensive case)
+	SpinIters int64 // total spin iterations across all Waits
+
+	// WaitSpins is a histogram of the spin iterations each spin-resolved
+	// Wait needed before the phase completed (bucket upper bounds via
+	// WaitBucketLabel). Blocked waits exhaust the spin budget and are
+	// counted in Blocks instead.
+	WaitSpins [NumWaitBuckets]int64
+}
+
+// StalledWaits returns the departures that found synchronization still
+// pending — the runtime analog of the hardware's stalled state (spun or
+// blocked rather than sailing through).
+func (s BarrierStats) StalledWaits() int64 { return s.SpinWaits + s.Blocks }
+
+// Waits returns the total number of Wait calls observed.
+func (s BarrierStats) Waits() int64 { return s.FastWaits + s.SpinWaits + s.Blocks }
+
+// BlockRate returns the fraction of Waits that blocked, 0 for no Waits.
+func (s BarrierStats) BlockRate() float64 {
+	if w := s.Waits(); w > 0 {
+		return float64(s.Blocks) / float64(w)
+	}
+	return 0
+}
+
+// String renders the snapshot as a single metrics line.
+func (s BarrierStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "syncs=%d arrivals=%d waits[fast=%d spin=%d block=%d] stalled=%d spin-iters=%d",
+		s.Syncs, s.Arrivals, s.FastWaits, s.SpinWaits, s.Blocks, s.StalledWaits(), s.SpinIters)
+	if s.SpinWaits > 0 {
+		b.WriteString(" spin-hist[")
+		first := true
+		for i, c := range s.WaitSpins {
+			if c == 0 {
+				continue
+			}
+			if !first {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%s:%d", WaitBucketLabel(i), c)
+			first = false
+		}
+		b.WriteByte(']')
+	}
+	return b.String()
+}
+
+// Snapshot copies the live counters into a BarrierStats value.
+func (rs *RuntimeStats) Snapshot() BarrierStats {
+	s := BarrierStats{
+		Syncs:     rs.Syncs.Load(),
+		Arrivals:  rs.Arrivals.Load(),
+		FastWaits: rs.FastWaits.Load(),
+		SpinWaits: rs.SpinWaits.Load(),
+		Blocks:    rs.Blocks.Load(),
+		SpinIters: rs.SpinIters.Load(),
+	}
+	for i := range s.WaitSpins {
+		s.WaitSpins[i] = rs.waitSpins[i].Load()
+	}
+	return s
+}
+
+// observeSpin records a spin-resolved Wait's iteration count in the
+// wait-spin histogram.
+func (rs *RuntimeStats) observeSpin(iters int64) {
+	rs.waitSpins[waitBucket(iters)].Add(1)
+}

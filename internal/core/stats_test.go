@@ -1,0 +1,144 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWaitBucket(t *testing.T) {
+	cases := []struct {
+		iters int64
+		want  int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {4, 1}, {5, 2}, {16, 2}, {17, 3},
+		{64, 3}, {65, 4}, {256, 4}, {257, 5}, {1 << 20, 5},
+	}
+	for _, c := range cases {
+		if got := waitBucket(c.iters); got != c.want {
+			t.Errorf("waitBucket(%d) = %d, want %d", c.iters, got, c.want)
+		}
+	}
+	if WaitBucketLabel(0) != "<=1" || WaitBucketLabel(4) != "<=256" || WaitBucketLabel(5) != ">256" {
+		t.Errorf("labels = %q %q %q", WaitBucketLabel(0), WaitBucketLabel(4), WaitBucketLabel(5))
+	}
+}
+
+// TestStatsSnapshotConsistency drives a real multi-goroutine barrier and
+// checks the snapshot's internal arithmetic: every Wait is fast, spun or
+// blocked, and the spin histogram covers exactly the spin-resolved ones.
+func TestStatsSnapshotConsistency(t *testing.T) {
+	const workers, episodes = 4, 2000
+	for _, impl := range []SplitBarrier{NewFuzzyBarrier(workers), NewTreeBarrier(workers)} {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for e := 0; e < episodes; e++ {
+					impl.Wait(impl.Arrive())
+				}
+			}()
+		}
+		wg.Wait()
+		s := impl.StatsSnapshot()
+		if s.Syncs != episodes {
+			t.Errorf("%T: syncs = %d, want %d", impl, s.Syncs, episodes)
+		}
+		if s.Arrivals != workers*episodes {
+			t.Errorf("%T: arrivals = %d, want %d", impl, s.Arrivals, workers*episodes)
+		}
+		if got := s.Waits(); got != workers*episodes {
+			t.Errorf("%T: fast+spin+block = %d, want %d", impl, got, workers*episodes)
+		}
+		var hist int64
+		for _, c := range s.WaitSpins {
+			hist += c
+		}
+		if hist != s.SpinWaits {
+			t.Errorf("%T: spin histogram sum = %d, want SpinWaits = %d", impl, hist, s.SpinWaits)
+		}
+		if s.StalledWaits() != s.SpinWaits+s.Blocks {
+			t.Errorf("%T: StalledWaits = %d", impl, s.StalledWaits())
+		}
+		if r := s.BlockRate(); r < 0 || r > 1 {
+			t.Errorf("%T: BlockRate = %f", impl, r)
+		}
+		// The legacy tuple accessor and the snapshot must agree.
+		syncs, arrivals, fast, spin, blocks, iters := impl.Stats()
+		if syncs != s.Syncs || arrivals != s.Arrivals || fast != s.FastWaits ||
+			spin != s.SpinWaits || blocks != s.Blocks || iters != s.SpinIters {
+			t.Errorf("%T: Stats() tuple disagrees with StatsSnapshot()", impl)
+		}
+	}
+}
+
+func TestBarrierStatsString(t *testing.T) {
+	s := BarrierStats{Syncs: 3, Arrivals: 12, FastWaits: 6, SpinWaits: 5, Blocks: 1, SpinIters: 40}
+	s.WaitSpins[1] = 5
+	out := s.String()
+	for _, want := range []string{"syncs=3", "arrivals=12", "spin=5", "block=1", "stalled=6", "<=4:5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q: %s", want, out)
+		}
+	}
+	if zero := (BarrierStats{}).String(); strings.Contains(zero, "spin-hist") {
+		t.Errorf("empty histogram rendered: %s", zero)
+	}
+}
+
+func TestDynamicBarrierSnapshot(t *testing.T) {
+	b := NewDynamicBarrier(1)
+	b.Wait(b.Arrive())
+	s := b.StatsSnapshot()
+	if s.Syncs != 1 || s.Arrivals != 1 || s.FastWaits != 1 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+// TestBarrierHotPathZeroAllocs pins the allocation-free guarantee: the
+// Arrive/Wait hot path allocates nothing, so the always-on counters (and
+// the nil-disabled trace hooks upstream) never add GC pressure.
+func TestBarrierHotPathZeroAllocs(t *testing.T) {
+	barriers := map[string]SplitBarrier{
+		"fuzzy":      NewFuzzyBarrier(1),
+		"fuzzy-tree": NewTreeBarrier(1),
+	}
+	for name, b := range barriers {
+		allocs := testing.AllocsPerRun(1000, func() {
+			b.Wait(b.Arrive())
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op on Arrive+Wait, want 0", name, allocs)
+		}
+	}
+	d := NewDynamicBarrier(1)
+	if allocs := testing.AllocsPerRun(1000, func() { d.Wait(d.Arrive()) }); allocs != 0 {
+		t.Errorf("dynamic: %.1f allocs/op on Arrive+Wait, want 0", allocs)
+	}
+}
+
+// BenchmarkBarrierHotPathAllocs is the benchmark form of the guarantee —
+// run with -benchmem; the allocs/op column must read 0.
+func BenchmarkBarrierHotPathAllocs(b *testing.B) {
+	for _, name := range []string{"fuzzy", "fuzzy-tree", "dynamic"} {
+		b.Run(name, func(b *testing.B) {
+			var bar interface {
+				Arrive() Phase
+				Wait(Phase)
+			}
+			switch name {
+			case "fuzzy":
+				bar = NewFuzzyBarrier(1)
+			case "fuzzy-tree":
+				bar = NewTreeBarrier(1)
+			case "dynamic":
+				bar = NewDynamicBarrier(1)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bar.Wait(bar.Arrive())
+			}
+		})
+	}
+}

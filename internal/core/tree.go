@@ -131,6 +131,10 @@ func (b *TreeBarrier) Stats() (syncs, arrivals, fastWaits, spinWaits, blocks, sp
 		b.stats.SpinWaits.Load(), b.stats.Blocks.Load(), b.stats.SpinIters.Load()
 }
 
+// StatsSnapshot returns the full observability snapshot, including the
+// wait-spin histogram.
+func (b *TreeBarrier) StatsSnapshot() BarrierStats { return b.stats.Snapshot() }
+
 // Probes returns the number of arrive-side leaf probes that found their
 // leaf already full and moved on — the routing cost of anonymity.
 func (b *TreeBarrier) Probes() int64 {

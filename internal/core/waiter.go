@@ -51,6 +51,7 @@ func (w *phaseWaiter) wait(p Phase, spinLimit int, stats *RuntimeStats) {
 		if w.epoch.Load() > p.epoch {
 			stats.SpinWaits.Add(1)
 			stats.SpinIters.Add(int64(i + 1))
+			stats.observeSpin(int64(i + 1))
 			return
 		}
 	}

@@ -42,6 +42,7 @@ func All() []Experiment {
 		{"E11", "Multiple barriers and the N-1 bound (Section 5, Figure 6)", E11MultipleBarriers},
 		{"E12", "Interrupts in barrier regions (Section 9 future work, extension)", E12InterruptTolerance},
 		{"E13", "Procedure calls from barrier regions (Section 9 future work, extension)", E13ProcedureCalls},
+		{"E14", "Per-phase stall attribution (observability extension)", E14PhaseAttribution},
 	}
 }
 

@@ -66,6 +66,11 @@ type Config struct {
 	MaxCycles int64
 	// Recorder, if non-nil, records per-cycle Gantt lanes and events.
 	Recorder *trace.Recorder
+	// Phases, if non-nil, attributes every processor-cycle to a
+	// (barrier-episode, activity-kind) pair; see trace.Phases. Both
+	// hooks follow the same discipline: nil disables them with zero
+	// allocation on the simulation hot path.
+	Phases *trace.Phases
 }
 
 func (c *Config) normalize() {
@@ -299,6 +304,11 @@ func (m *Machine) Run() (*Result, error) {
 					rec.Mark(m.cycle, i, trace.KindSync)
 					rec.Eventf(m.cycle, i, "synchronized (tag=%d, epoch=%d)", m.net.Unit(i).Tag(), m.net.Unit(i).Syncs())
 				}
+				// One barrier episode ends for processor i: cycles
+				// accounted from here on belong to the next phase. (The
+				// KindSync lane mark above is presentation-only — the
+				// cycle's activity was already attributed by step.)
+				m.cfg.Phases.Advance(i)
 			}
 		}
 		if !progress {
@@ -345,25 +355,32 @@ func (m *Machine) finish(res *Result) {
 	}
 }
 
+// mark attributes the current cycle's activity of processor p to both
+// observability sinks: the Gantt lane and the per-phase aggregator. Both
+// are nil-safe no-ops when disabled.
+func (m *Machine) mark(p int, k trace.Kind) {
+	m.cfg.Recorder.Mark(m.cycle, p, k)
+	m.cfg.Phases.Account(p, k)
+}
+
 // step advances processor p by one cycle; it returns true if the
 // processor did anything other than stall.
 func (m *Machine) step(p *processor) bool {
-	rec := m.cfg.Recorder
 	u := m.net.Unit(p.id)
 
 	if p.busyTil > m.cycle {
 		switch p.busy {
 		case busyMem:
 			p.stats.MemCycles++
-			rec.Mark(m.cycle, p.id, trace.KindMemory)
+			m.mark(p.id, trace.KindMemory)
 		case busyWork:
 			p.stats.WorkCycles++
-			rec.Mark(m.cycle, p.id, trace.KindWork)
+			m.mark(p.id, trace.KindWork)
 		case busyIrq:
 			p.stats.IrqCycles++
-			rec.Mark(m.cycle, p.id, trace.KindInterrupt)
+			m.mark(p.id, trace.KindInterrupt)
 		default:
-			rec.Mark(m.cycle, p.id, trace.KindExec)
+			m.mark(p.id, trace.KindExec)
 		}
 		return true
 	}
@@ -391,7 +408,7 @@ func (m *Machine) step(p *processor) bool {
 			}
 		}
 		u.NoteBarrierInstr()
-		rec.Mark(m.cycle, p.id, trace.KindBarrier)
+		m.mark(p.id, trace.KindBarrier)
 	} else {
 		if p.enterAt >= 0 {
 			// The region was shorter than the pipeline: the ready line
@@ -399,7 +416,7 @@ func (m *Machine) step(p *processor) bool {
 			// wait for the delayed line and then for synchronization.
 			u.NoteStallCycle()
 			p.stats.StallCycles++
-			rec.Mark(m.cycle, p.id, trace.KindStall)
+			m.mark(p.id, trace.KindStall)
 			return false
 		}
 		if !u.TryCross() {
@@ -407,10 +424,10 @@ func (m *Machine) step(p *processor) bool {
 			// stall (Section 2's Condition for Stalling).
 			u.NoteStallCycle()
 			p.stats.StallCycles++
-			rec.Mark(m.cycle, p.id, trace.KindStall)
+			m.mark(p.id, trace.KindStall)
 			return false
 		}
-		rec.Mark(m.cycle, p.id, trace.KindExec)
+		m.mark(p.id, trace.KindExec)
 	}
 
 	m.execute(p, in, inBarrier)

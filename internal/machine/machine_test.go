@@ -538,3 +538,103 @@ func TestPipelineShortRegionCannotSkipSync(t *testing.T) {
 		t.Errorf("P0 halted at %d, before P1 arrived", res.Procs[0].HaltCycle)
 	}
 }
+
+// TestPhaseAttributionMatchesAggregates wires a trace.Phases into an
+// unbalanced two-processor run and checks the structural invariant of
+// the observability layer: per-phase cycle attribution sums to exactly
+// the aggregate counters the machine already reports, for every kind.
+func TestPhaseAttributionMatchesAggregates(t *testing.T) {
+	const iters = 6
+	ph := trace.NewPhases(2)
+	m := New(Config{Procs: 2, Mem: simpleMem(2), Phases: ph})
+	if err := m.Load(0, loopProgram(t, 0, 2, 5, 0, iters)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(1, loopProgram(t, 1, 2, 25, 0, iters)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.TotalStalls() == 0 {
+		t.Fatal("workload produced no stalls; test needs imbalance")
+	}
+
+	var phaseStalls int64
+	for phase := 0; phase < ph.NumPhases(); phase++ {
+		phaseStalls += ph.PhaseCycles(phase, trace.KindStall)
+	}
+	if phaseStalls != res.TotalStalls() {
+		t.Errorf("per-phase stalls sum = %d, want aggregate %d", phaseStalls, res.TotalStalls())
+	}
+	if got := ph.KindTotal(trace.KindStall); got != res.TotalStalls() {
+		t.Errorf("KindTotal(stall) = %d, want %d", got, res.TotalStalls())
+	}
+
+	var mem, work int64
+	for _, p := range res.Procs {
+		mem += p.MemCycles
+		work += p.WorkCycles
+	}
+	if got := ph.KindTotal(trace.KindMemory); got != mem {
+		t.Errorf("KindTotal(memory) = %d, want %d", got, mem)
+	}
+	if got := ph.KindTotal(trace.KindWork); got != work {
+		t.Errorf("KindTotal(work) = %d, want %d", got, work)
+	}
+
+	// One phase per synchronization plus the post-sync tail (loop exit
+	// and halt cycles land after the final sync).
+	if got := ph.NumPhases(); got != iters+1 {
+		t.Errorf("phases = %d, want %d (one per episode + tail)", got, iters+1)
+	}
+	// Early episodes must carry the stalls: the fast processor stalls in
+	// every full episode, the tail phase has no barrier left to stall on.
+	if ph.PhaseCycles(0, trace.KindStall) == 0 {
+		t.Error("phase 0 shows no stalls despite 5-vs-25 imbalance")
+	}
+	if got := ph.PhaseCycles(iters, trace.KindStall); got != 0 {
+		t.Errorf("tail phase stalls = %d, want 0", got)
+	}
+}
+
+// TestPhasesAndRecorderAgree runs the same machine with both sinks and
+// cross-checks them: the per-kind totals of the phase aggregator match
+// the lane counts, modulo the sync/halt overwrite cycles, which the
+// lanes render but the phase attribution books under the activity the
+// processor actually performed.
+func TestPhasesAndRecorderAgree(t *testing.T) {
+	const iters = 4
+	ph := trace.NewPhases(2)
+	rec := trace.NewRecorder(2)
+	m := New(Config{Procs: 2, Mem: simpleMem(2), Recorder: rec, Phases: ph})
+	for p := 0; p < 2; p++ {
+		if err := m.Load(p, loopProgram(t, p, 2, int64(5+20*p), 0, iters)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for p := 0; p < 2; p++ {
+		counts := rec.LaneCounts(p)
+		var lane, attributed int64
+		for k, n := range counts {
+			if k == trace.KindIdle {
+				continue
+			}
+			lane += n
+		}
+		for _, k := range trace.Kinds {
+			for phase := 0; phase < ph.NumPhases(); phase++ {
+				attributed += ph.ProcCounts(p, phase)[k.Index()]
+			}
+		}
+		// Lane overwrites: each sync cycle and the halt cycle replace an
+		// attributed mark, so the lane shows the same cycle count.
+		if lane != attributed {
+			t.Errorf("P%d: lane active cycles = %d, phase-attributed = %d (counts %v)", p, lane, attributed, counts)
+		}
+	}
+}

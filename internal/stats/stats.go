@@ -14,26 +14,41 @@ import (
 
 // Summary holds the usual five-number-style description of a sample.
 type Summary struct {
-	N      int
-	Min    float64
-	Max    float64
-	Mean   float64
-	Stdev  float64
-	Median float64
-	P90    float64
-	P99    float64
-	Sum    float64
+	N       int // valid (non-NaN) observations
+	Invalid int // NaN observations, excluded from every statistic
+	Min     float64
+	Max     float64
+	Mean    float64
+	Stdev   float64
+	Median  float64
+	P90     float64
+	P99     float64
+	Sum     float64
 }
 
 // Summarize computes a Summary over xs. An empty sample yields a zero
 // Summary with N == 0.
+//
+// NaN observations are filtered out and counted in Invalid (mirroring
+// Histogram.Invalid) — sorting places NaN unspecified, so a single NaN
+// would otherwise corrupt Min/Max and every percentile. An all-NaN
+// sample yields a zero Summary with N == 0 and Invalid == len(xs).
+// ±Inf observations are valid and propagate into Min/Max/Sum/Mean
+// (and make Stdev NaN), as IEEE arithmetic dictates.
 func Summarize(xs []float64) Summary {
 	var s Summary
-	s.N = len(xs)
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			s.Invalid++
+			continue
+		}
+		sorted = append(sorted, x)
+	}
+	s.N = len(sorted)
 	if s.N == 0 {
 		return s
 	}
-	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	s.Min = sorted[0]
 	s.Max = sorted[len(sorted)-1]
@@ -58,7 +73,28 @@ func Summarize(xs []float64) Summary {
 // Percentile returns the p-th percentile (0..100) of a sorted sample using
 // linear interpolation between closest ranks. The input must be sorted in
 // ascending order; an empty sample yields 0.
+//
+// NaN elements are excluded before ranking (sort places them in
+// unspecified positions, so ranks over a NaN-bearing sample would be
+// garbage); a sample of only NaNs yields 0. The exclusion scan copies
+// the sample only when a NaN is actually present.
 func Percentile(sorted []float64, p float64) float64 {
+	for i, x := range sorted {
+		if math.IsNaN(x) {
+			// Slow path: rebuild the sample without NaNs. The non-NaN
+			// elements keep their relative order, so the result is still
+			// sorted.
+			clean := make([]float64, 0, len(sorted)-1)
+			clean = append(clean, sorted[:i]...)
+			for _, y := range sorted[i+1:] {
+				if !math.IsNaN(y) {
+					clean = append(clean, y)
+				}
+			}
+			sorted = clean
+			break
+		}
+	}
 	if len(sorted) == 0 {
 		return 0
 	}

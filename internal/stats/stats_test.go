@@ -27,6 +27,78 @@ func TestSummarizeEmpty(t *testing.T) {
 	}
 }
 
+func TestSummarizeAllNaN(t *testing.T) {
+	nan := math.NaN()
+	s := Summarize([]float64{nan, nan, nan})
+	if s.N != 0 || s.Invalid != 3 {
+		t.Errorf("all-NaN summary N/Invalid = %d/%d, want 0/3", s.N, s.Invalid)
+	}
+	if s.Min != 0 || s.Max != 0 || s.Mean != 0 || s.Median != 0 || s.P90 != 0 || s.P99 != 0 || s.Sum != 0 {
+		t.Errorf("all-NaN summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeSomeNaN(t *testing.T) {
+	nan := math.NaN()
+	s := Summarize([]float64{nan, 4, 1, nan, 3, 2, 5, nan})
+	if s.N != 5 || s.Invalid != 3 {
+		t.Fatalf("N/Invalid = %d/%d, want 5/3", s.N, s.Invalid)
+	}
+	// The valid subsample must yield exactly the NaN-free statistics.
+	want := Summarize([]float64{4, 1, 3, 2, 5})
+	want.Invalid = 3
+	if s != want {
+		t.Errorf("summary = %+v, want %+v", s, want)
+	}
+	for _, v := range []float64{s.Min, s.Max, s.Mean, s.Stdev, s.Median, s.P90, s.P99, s.Sum} {
+		if math.IsNaN(v) {
+			t.Errorf("NaN leaked into summary: %+v", s)
+		}
+	}
+}
+
+func TestSummarizeInf(t *testing.T) {
+	s := Summarize([]float64{math.Inf(-1), 1, 2, math.Inf(1)})
+	if s.N != 4 || s.Invalid != 0 {
+		t.Fatalf("N/Invalid = %d/%d, want 4/0", s.N, s.Invalid)
+	}
+	if !math.IsInf(s.Min, -1) || !math.IsInf(s.Max, 1) {
+		t.Errorf("min/max = %v/%v, want -Inf/+Inf", s.Min, s.Max)
+	}
+	// -Inf + +Inf is NaN by IEEE rules; ±Inf observations are valid
+	// inputs and the documented propagation applies.
+	if !math.IsNaN(s.Sum) || !math.IsNaN(s.Mean) {
+		t.Errorf("sum/mean = %v/%v, want NaN (Inf-Inf)", s.Sum, s.Mean)
+	}
+	if s.Median != 1.5 {
+		t.Errorf("median = %v, want 1.5", s.Median)
+	}
+	one := Summarize([]float64{1, 2, math.Inf(1)})
+	if !math.IsInf(one.Sum, 1) || !math.IsInf(one.Mean, 1) || one.Max != math.Inf(1) {
+		t.Errorf("+Inf-only summary = %+v", one)
+	}
+}
+
+func TestPercentileNaN(t *testing.T) {
+	nan := math.NaN()
+	// sort.Float64s orders NaN before other values; Percentile must
+	// exclude them wherever they land.
+	withNaN := []float64{nan, nan, 10, 20, 30, 40}
+	for p, want := range map[float64]float64{0: 10, 50: 25, 100: 40} {
+		if got := Percentile(withNaN, p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("P%v with NaN = %v, want %v", p, got, want)
+		}
+	}
+	// NaN in interior positions (a caller-sorted slice from another
+	// source) is excluded too.
+	if got := Percentile([]float64{10, nan, 20}, 100); got != 20 {
+		t.Errorf("interior NaN P100 = %v, want 20", got)
+	}
+	if got := Percentile([]float64{nan, nan}, 50); got != 0 {
+		t.Errorf("all-NaN percentile = %v, want 0", got)
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	sorted := []float64{10, 20, 30, 40}
 	cases := map[float64]float64{0: 10, 100: 40, 50: 25, 25: 17.5}

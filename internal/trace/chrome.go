@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event "JSON Array Format"
+// — the schema chrome://tracing and Perfetto load. Timestamps are in
+// microseconds; the exporter maps one simulated cycle to one microsecond
+// so a cycle count reads directly off the timeline ruler.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the recorded lanes and events as Chrome trace-event
+// JSON. Each processor becomes one thread (tid) of a single process:
+// runs of consecutive same-kind cycles become complete ("ph":"X") slices
+// named after the Kind, discrete events become instant ("ph":"i")
+// events, and a metadata record names each thread P0, P1, ... Idle and
+// halted cycles are omitted — gaps read as idle on the timeline.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	var events []chromeEvent
+	if r != nil {
+		for p, lane := range r.lanes {
+			events = append(events, chromeEvent{
+				Name:  "thread_name",
+				Phase: "M",
+				PID:   0,
+				TID:   p,
+				Args:  map[string]any{"name": fmt.Sprintf("P%d", p)},
+			})
+			for start := 0; start < len(lane); {
+				k := lane[start]
+				end := start + 1
+				for end < len(lane) && lane[end] == k {
+					end++
+				}
+				if k != KindIdle && k != KindHalted {
+					events = append(events, chromeEvent{
+						Name:  k.String(),
+						Cat:   "lane",
+						Phase: "X",
+						TS:    int64(start),
+						Dur:   int64(end - start),
+						PID:   0,
+						TID:   p,
+					})
+				}
+				start = end
+			}
+		}
+		for _, ev := range r.Events() {
+			events = append(events, chromeEvent{
+				Name:  ev.What,
+				Cat:   "event",
+				Phase: "i",
+				TS:    ev.Cycle,
+				PID:   0,
+				TID:   ev.Proc,
+				Scope: "t",
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if events == nil {
+		events = []chromeEvent{} // encode as [], not null
+	}
+	return enc.Encode(events)
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// chromeSample builds the deterministic recorder behind the golden file:
+// two processors, a stall-and-sync episode, and a couple of discrete
+// events.
+func chromeSample() *Recorder {
+	r := NewRecorder(2)
+	for c := int64(0); c < 4; c++ {
+		r.Mark(c, 0, KindExec)
+	}
+	r.Mark(4, 0, KindBarrier)
+	r.Mark(5, 0, KindBarrier)
+	r.Mark(6, 0, KindStall)
+	r.Mark(7, 0, KindSync)
+	for c := int64(0); c < 6; c++ {
+		r.Mark(c, 1, KindExec)
+	}
+	r.Mark(6, 1, KindBarrier)
+	r.Mark(7, 1, KindSync)
+	r.Eventf(7, 0, "synchronized (tag=1, epoch=1)")
+	r.Eventf(7, 1, "synchronized (tag=1, epoch=1)")
+	r.Mark(8, 0, KindHalted) // omitted from the export
+	return r
+}
+
+// TestChromeGolden locks the exporter's exact output. Regenerate with
+//
+//	go test ./internal/trace -run TestChromeGolden -update
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chromeSample().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeSchema validates the loadable event schema: the output is a
+// JSON array whose entries carry name/ph/ts plus pid/tid — the fields
+// chrome://tracing and Perfetto require.
+func TestChromeSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := chromeSample().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events exported")
+	}
+	var slices, instants, metas int
+	for i, ev := range events {
+		for _, key := range []string{"name", "ph", "ts", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+		switch ev["ph"] {
+		case "X":
+			slices++
+			if d, ok := ev["dur"].(float64); !ok || d < 1 {
+				t.Errorf("slice %d has bad dur: %v", i, ev)
+			}
+		case "i":
+			instants++
+			if ev["s"] != "t" {
+				t.Errorf("instant %d missing thread scope: %v", i, ev)
+			}
+		case "M":
+			metas++
+		default:
+			t.Errorf("event %d has unexpected ph %v", i, ev["ph"])
+		}
+	}
+	if metas != 2 {
+		t.Errorf("thread_name metadata events = %d, want 2", metas)
+	}
+	if instants != 2 {
+		t.Errorf("instant events = %d, want 2", instants)
+	}
+	// P0: exec, barrier, stall, sync = 4 slices; halted omitted.
+	// P1: exec, barrier, sync = 3 slices. Idle gaps never exported.
+	if slices != 7 {
+		t.Errorf("slices = %d, want 7", slices)
+	}
+	for _, ev := range events {
+		if ev["name"] == "idle" || ev["name"] == "halted" {
+			t.Errorf("idle/halted run exported: %v", ev)
+		}
+	}
+}
+
+// TestChromeEmptyAndNil ensures degenerate recorders still produce a
+// loadable (empty) JSON array.
+func TestChromeEmptyAndNil(t *testing.T) {
+	for name, r := range map[string]*Recorder{"nil": nil, "zero": {}, "empty": NewRecorder(0)} {
+		var buf bytes.Buffer
+		if err := r.WriteChrome(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var events []map[string]any
+		if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+			t.Fatalf("%s: not a JSON array: %v", name, err)
+		}
+		if len(events) != 0 {
+			t.Errorf("%s: events = %v, want none", name, events)
+		}
+	}
+}

@@ -29,6 +29,59 @@ const (
 	KindInterrupt  Kind = 'I' // preempted by an injected interrupt/trap
 )
 
+// Kinds lists every activity kind in a stable rendering order, used by
+// the per-kind aggregations (LaneCounts, Phases) and the Chrome exporter.
+var Kinds = []Kind{
+	KindIdle, KindExec, KindBarrier, KindStall, KindMemory, KindHotSpot,
+	KindSync, KindHalted, KindWork, KindSpin, KindOverheadOp, KindInterrupt,
+}
+
+// NumKinds is len(Kinds); per-kind count vectors are indexed by
+// Kind.Index in [0, NumKinds).
+const NumKinds = 12
+
+// Index returns the kind's position in Kinds, or -1 for an unknown glyph.
+func (k Kind) Index() int {
+	for i, kk := range Kinds {
+		if kk == k {
+			return i
+		}
+	}
+	return -1
+}
+
+// String returns a short human-readable name for the kind ("exec",
+// "stall", ...). The Gantt chart renders the raw glyph bytes instead.
+func (k Kind) String() string {
+	switch k {
+	case KindIdle:
+		return "idle"
+	case KindExec:
+		return "exec"
+	case KindBarrier:
+		return "barrier"
+	case KindStall:
+		return "stall"
+	case KindMemory:
+		return "memory"
+	case KindHotSpot:
+		return "hot-spot"
+	case KindSync:
+		return "sync"
+	case KindHalted:
+		return "halted"
+	case KindWork:
+		return "work"
+	case KindSpin:
+		return "spin"
+	case KindOverheadOp:
+		return "overhead-op"
+	case KindInterrupt:
+		return "interrupt"
+	}
+	return fmt.Sprintf("Kind(%q)", byte(k))
+}
+
 // Event is a single recorded occurrence in a simulation.
 type Event struct {
 	Cycle int64
@@ -43,24 +96,24 @@ type Recorder struct {
 	lanes    [][]Kind
 	events   []Event
 	maxCycle int64
-	enabled  bool
 }
 
 // NewRecorder returns a Recorder with one Gantt lane per processor.
 func NewRecorder(procs int) *Recorder {
-	r := &Recorder{enabled: true}
-	r.lanes = make([][]Kind, procs)
-	return r
+	return &Recorder{lanes: make([][]Kind, procs)}
 }
 
-// Enabled reports whether per-cycle recording is active. A nil Recorder is
+// Enabled reports whether recording is active. A nil Recorder is
 // permitted everywhere and reports false, so the simulator can be run
-// without tracing overhead.
-func (r *Recorder) Enabled() bool { return r != nil && r.enabled }
+// without tracing overhead; any non-nil Recorder (including the zero
+// value, which has no lanes) records.
+func (r *Recorder) Enabled() bool { return r != nil }
 
-// Mark records what processor p did during the given cycle.
+// Mark records what processor p did during the given cycle. Marks for
+// processors without a lane (in particular, every Mark on a zero-value
+// Recorder) are dropped; events are still recorded.
 func (r *Recorder) Mark(cycle int64, p int, k Kind) {
-	if r == nil || !r.enabled || p < 0 || p >= len(r.lanes) {
+	if r == nil || p < 0 || p >= len(r.lanes) {
 		return
 	}
 	lane := r.lanes[p]
@@ -76,10 +129,27 @@ func (r *Recorder) Mark(cycle int64, p int, k Kind) {
 
 // Eventf records a discrete, printf-formatted event.
 func (r *Recorder) Eventf(cycle int64, p int, format string, args ...any) {
-	if r == nil || !r.enabled {
+	if r == nil {
 		return
 	}
 	r.events = append(r.events, Event{Cycle: cycle, Proc: p, What: fmt.Sprintf(format, args...)})
+}
+
+// MaxCycle returns the highest cycle marked so far (0 when nothing has
+// been marked); the rendered chart spans cycles [0, MaxCycle()].
+func (r *Recorder) MaxCycle() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.maxCycle
+}
+
+// Procs returns the number of Gantt lanes.
+func (r *Recorder) Procs() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.lanes)
 }
 
 // Events returns the recorded events ordered by cycle, then processor.
@@ -135,14 +205,20 @@ func (r *Recorder) Gantt() string {
 }
 
 // LaneCounts returns, for processor p, how many cycles were spent in each
-// activity kind. It returns nil if p has no lane.
+// activity kind. It returns nil if p has no lane. Lanes shorter than the
+// chart width are padded with KindIdle, exactly as Gantt renders them, so
+// the counts of every lane sum to MaxCycle()+1.
 func (r *Recorder) LaneCounts(p int) map[Kind]int64 {
 	if r == nil || p < 0 || p >= len(r.lanes) {
 		return nil
 	}
 	m := make(map[Kind]int64)
-	for _, k := range r.lanes[p] {
+	lane := r.lanes[p]
+	for _, k := range lane {
 		m[k]++
+	}
+	if pad := r.maxCycle + 1 - int64(len(lane)); pad > 0 {
+		m[KindIdle] += pad
 	}
 	return m
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -29,8 +30,12 @@ func TestRecorderIgnoresOutOfRange(t *testing.T) {
 	r := NewRecorder(1)
 	r.Mark(0, 5, KindExec)  // lane out of range: ignored
 	r.Mark(0, -1, KindExec) // negative: ignored
-	if counts := r.LaneCounts(0); len(counts) != 0 {
-		t.Errorf("unexpected marks: %v", counts)
+	// Only idle padding may appear, never the dropped marks.
+	counts := r.LaneCounts(0)
+	for k, n := range counts {
+		if k != KindIdle {
+			t.Errorf("unexpected mark %v x%d", k, n)
+		}
 	}
 	if r.LaneCounts(9) != nil {
 		t.Error("out-of-range lane should return nil")
@@ -49,6 +54,52 @@ func TestNilRecorderIsSafe(t *testing.T) {
 	}
 	if r.Gantt() != "" {
 		t.Error("nil recorder renders gantt")
+	}
+}
+
+// TestZeroValueRecorderRecordsEvents pins the documented zero-value
+// contract: a zero Recorder records events (it has no lanes, so Mark is
+// dropped silently). This regressed when event recording was gated on a
+// flag only NewRecorder set.
+func TestZeroValueRecorderRecordsEvents(t *testing.T) {
+	var r Recorder
+	if !r.Enabled() {
+		t.Error("zero-value recorder should be enabled")
+	}
+	r.Eventf(3, 1, "checkpoint %d", 7)
+	r.Mark(0, 0, KindExec) // no lanes: dropped, must not panic
+	evs := r.Events()
+	if len(evs) != 1 || evs[0].What != "checkpoint 7" || evs[0].Cycle != 3 || evs[0].Proc != 1 {
+		t.Fatalf("events = %+v, want one 'checkpoint 7' at cycle 3 proc 1", evs)
+	}
+	if r.Gantt() != "" {
+		t.Errorf("zero-value recorder rendered lanes: %q", r.Gantt())
+	}
+}
+
+// TestLaneCountsPadding asserts the LaneCounts/Gantt agreement: every
+// lane's counts sum to MaxCycle()+1, because lanes shorter than the
+// chart are padded with idle glyphs in both views.
+func TestLaneCountsPadding(t *testing.T) {
+	r := NewRecorder(3)
+	r.Mark(9, 0, KindExec)  // lane 0 spans the full chart
+	r.Mark(2, 1, KindStall) // lane 1 is short: 7 idle cycles are implicit
+	// lane 2 never marked at all: fully idle
+	for p := 0; p < 3; p++ {
+		counts := r.LaneCounts(p)
+		var sum int64
+		for _, n := range counts {
+			sum += n
+		}
+		if want := r.MaxCycle() + 1; sum != want {
+			t.Errorf("lane %d counts sum = %d, want %d (%v)", p, sum, want, counts)
+		}
+	}
+	if c := r.LaneCounts(1); c[KindIdle] != 9 || c[KindStall] != 1 {
+		t.Errorf("lane 1 counts = %v, want 9 idle + 1 stall", c)
+	}
+	if c := r.LaneCounts(2); c[KindIdle] != 10 {
+		t.Errorf("lane 2 counts = %v, want 10 idle", c)
 	}
 }
 
@@ -161,5 +212,62 @@ func TestGanttRuler(t *testing.T) {
 	ruler := strings.Split(g, "\n")[0]
 	if !strings.Contains(ruler, "0") || !strings.Contains(ruler, "10") || !strings.Contains(ruler, "20") {
 		t.Errorf("ruler = %q", ruler)
+	}
+}
+
+// TestGanttRulerAlignment pins the ruler's column math: each label sits
+// exactly at its multiple-of-10 column (after the 6-character lane
+// margin), including three-digit labels past cycle 100.
+func TestGanttRulerAlignment(t *testing.T) {
+	const margin = 6 // "P0    " prefix width
+	for _, width := range []int64{35, 101, 137, 250} {
+		r := NewRecorder(1)
+		r.Mark(width-1, 0, KindExec)
+		lines := strings.Split(r.Gantt(), "\n")
+		ruler, lane := lines[0], lines[1]
+		if len(lane) != margin+int(width) {
+			t.Fatalf("width %d: lane length = %d, want %d", width, len(lane), margin+int(width))
+		}
+		for c := int64(0); c < width; c += 10 {
+			label := fmt.Sprintf("%d", c)
+			at := margin + int(c)
+			if at+len(label) > len(ruler) {
+				// A label that would overflow the chart may be truncated;
+				// the Gantt keeps whatever fits.
+				continue
+			}
+			if got := ruler[at : at+len(label)]; got != label {
+				t.Errorf("width %d: ruler at col %d = %q, want %q (ruler %q)", width, at, got, label, ruler)
+			}
+		}
+	}
+}
+
+// TestEventsOrderingStability asserts Events() sorts by cycle then
+// processor and, for equal (cycle, proc), preserves insertion order —
+// the property the event log and the Chrome exporter rely on.
+func TestEventsOrderingStability(t *testing.T) {
+	r := NewRecorder(2)
+	r.Eventf(4, 1, "first")
+	r.Eventf(4, 1, "second")
+	r.Eventf(4, 0, "lower proc")
+	r.Eventf(1, 1, "earliest")
+	r.Eventf(4, 1, "third")
+	got := r.Events()
+	want := []string{"earliest", "lower proc", "first", "second", "third"}
+	if len(got) != len(want) {
+		t.Fatalf("events = %d, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].What != w {
+			t.Errorf("events[%d] = %q, want %q (full: %+v)", i, got[i].What, w, got)
+		}
+	}
+	// Sorting must not mutate the recorder's own event order.
+	again := r.Events()
+	for i := range got {
+		if again[i] != got[i] {
+			t.Errorf("Events() not reproducible at %d: %+v vs %+v", i, again[i], got[i])
+		}
 	}
 }
