@@ -18,7 +18,9 @@ test:
 
 # The race-detector run subsumes `make test` (same packages, -race adds
 # the happens-before checker); internal/core carries dedicated TestRace*
-# stress tests written for this mode.
+# stress tests written for this mode, and internal/cluster's property
+# tests (TestPropertyNoEarlyRelease) run their fault-injected sims as
+# parallel subtests so -race checks the sims share no hidden state.
 race:
 	$(GO) test -race ./...
 
@@ -26,10 +28,13 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # CI-sized benchmark smoke test: one iteration of the n=8 split-scaling
-# points, plus the allocs/op=0 check on the barrier hot path.
+# points, the allocs/op=0 check on the barrier hot path, and a
+# machine-readable barbench run archived as BENCH_SMOKE.json.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'E2SplitScaling/[^/]*/p8/region=0$$' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BarrierHotPathAllocs' -benchtime 100x -benchmem ./internal/core
+	$(GO) run ./cmd/barbench -procs 2 -episodes 5000 -json > BENCH_SMOKE.json
+	@head -c 200 BENCH_SMOKE.json; echo; echo "wrote BENCH_SMOKE.json"
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

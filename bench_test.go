@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's evaluation, one benchmark per table
-// or figure (DESIGN.md index E1..E13), plus the ablations DESIGN.md calls
+// or figure (DESIGN.md index E1..E15), plus the ablations DESIGN.md calls
 // out. Simulator benchmarks report deterministic counters (cycles, stall
 // cycles) via b.ReportMetric; goroutine benchmarks report wall time — on
 // a time-shared scheduler treat those as orderings, not absolutes.
@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"fuzzybarrier/internal/baseline"
+	"fuzzybarrier/internal/cluster"
 	"fuzzybarrier/internal/compiler"
 	"fuzzybarrier/internal/core"
 	"fuzzybarrier/internal/exp"
@@ -362,6 +363,34 @@ func BenchmarkE13ProcedureCalls(b *testing.B) { benchExperiment(b, "E13") }
 // BenchmarkE14PhaseAttribution regenerates the per-phase stall
 // attribution table (observability extension).
 func BenchmarkE14PhaseAttribution(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkE15ClusterSync regenerates the message-passing cluster table
+// (sync cost vs. region size over a lossy network).
+func BenchmarkE15ClusterSync(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkClusterSim measures raw discrete-event throughput of one
+// lossy dissemination-barrier run (the heaviest cluster protocol by
+// message count), reporting deterministic stall ticks per epoch.
+func BenchmarkClusterSim(b *testing.B) {
+	var stall float64
+	for i := 0; i < b.N; i++ {
+		sim, err := cluster.New(cluster.Config{
+			Protocol: "dissemination", Nodes: 8, Epochs: 50,
+			Work: 300, WorkJitter: 100, Region: 120,
+			Net:  cluster.NetConfig{Latency: 20, Jitter: 15, DropRate: 0.05, DupRate: 0.02},
+			Seed: 42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		stall = res.StallPerEpoch()
+	}
+	b.ReportMetric(stall, "stall-ticks/epoch")
+}
 
 // ---------------------------------------------------------------------
 // Ablations (DESIGN.md §5)

@@ -5,6 +5,7 @@
 package fuzzybarrier_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -30,7 +31,7 @@ func buildTools(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"experiments", "fuzzsim", "fuzzcc", "barbench"} {
+		for _, tool := range []string{"experiments", "fuzzsim", "fuzzcc", "barbench", "clustersim"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, tool), "./cmd/"+tool)
 			out, err := cmd.CombinedOutput()
 			if err != nil {
@@ -173,5 +174,68 @@ func TestCLIBarbench(t *testing.T) {
 	}
 	if !strings.Contains(out, "hotspot-ops/phase") {
 		t.Errorf("missing hotspot metric:\n%s", out)
+	}
+}
+
+func TestCLIBarbenchJSON(t *testing.T) {
+	dir := buildTools(t)
+	out, err := runTool(t, dir, "barbench", "-procs", "2", "-episodes", "200", "-impl", "fuzzy", "-json")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	// stderr (GOMAXPROCS note) may precede the JSON; decode from '['.
+	i := strings.Index(out, "[")
+	if i < 0 {
+		t.Fatalf("no JSON array in output:\n%s", out)
+	}
+	var recs []struct {
+		Impl    string `json:"impl"`
+		Split   bool   `json:"split"`
+		NsPerEp int64  `json:"ns_per_episode"`
+		Stats   *struct {
+			Syncs int64 `json:"syncs"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(out[i:]), &recs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(recs) != 1 || recs[0].Impl != "fuzzy" || !recs[0].Split {
+		t.Fatalf("unexpected records: %+v", recs)
+	}
+	if recs[0].NsPerEp <= 0 || recs[0].Stats == nil || recs[0].Stats.Syncs != 200 {
+		t.Errorf("implausible measurement: %+v", recs[0])
+	}
+}
+
+func TestCLIClustersim(t *testing.T) {
+	dir := buildTools(t)
+	out, err := runTool(t, dir, "clustersim",
+		"-proto", "tree", "-nodes", "5", "-epochs", "10",
+		"-jitter", "15", "-drop", "0.1", "-dup", "0.05", "-seed", "3", "-log")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"tree nodes=5 epochs=10", "net.send", "net.recv", "node 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Replay: the same seed reproduces the run byte for byte.
+	out2, err := runTool(t, dir, "clustersim",
+		"-proto", "tree", "-nodes", "5", "-epochs", "10",
+		"-jitter", "15", "-drop", "0.1", "-dup", "0.05", "-seed", "3", "-log")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out2)
+	}
+	if out != out2 {
+		t.Error("same seed produced different clustersim output")
+	}
+	// A fully lossy network must end in a nonzero-exit watchdog report.
+	out, err = runTool(t, dir, "clustersim", "-proto", "central", "-nodes", "3", "-epochs", "2", "-drop", "1")
+	if err == nil {
+		t.Fatalf("expected nonzero exit for stuck run:\n%s", out)
+	}
+	if !strings.Contains(out, "stuck") || !strings.Contains(out, "node 0") {
+		t.Errorf("missing stuck diagnosis:\n%s", out)
 	}
 }

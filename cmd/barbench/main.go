@@ -10,6 +10,7 @@
 //	barbench -procs 4 -episodes 100000
 //	barbench -impl fuzzy -region 50 # fuzzy with 50 units of region work
 //	barbench -impl fuzzy-tree -procs 256
+//	barbench -json > bench.json     # machine-readable measurements
 //
 // Wall-clock numbers on a time-shared goroutine scheduler are noisy; run
 // several times and look at the ordering, not the absolute values (the
@@ -22,6 +23,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +34,31 @@ import (
 	"fuzzybarrier/internal/baseline"
 	"fuzzybarrier/internal/core"
 )
+
+// record is the machine-readable form of one measurement (-json).
+type record struct {
+	Impl       string      `json:"impl"`
+	Split      bool        `json:"split"`
+	Procs      int         `json:"procs"`
+	Episodes   int         `json:"episodes"`
+	Work       int         `json:"work,omitempty"`
+	Region     int         `json:"region,omitempty"`
+	TotalNs    int64       `json:"total_ns"`
+	NsPerEp    int64       `json:"ns_per_episode"`
+	HotspotOps *float64    `json:"hotspot_ops_per_phase,omitempty"`
+	Stats      *splitStats `json:"stats,omitempty"`
+}
+
+// splitStats flattens core.BarrierStats for JSON consumers.
+type splitStats struct {
+	Syncs     int64   `json:"syncs"`
+	Arrivals  int64   `json:"arrivals"`
+	FastWaits int64   `json:"fast_waits"`
+	SpinWaits int64   `json:"spin_waits"`
+	Blocks    int64   `json:"blocks"`
+	SpinIters int64   `json:"spin_iters"`
+	BlockRate float64 `json:"block_rate"`
+}
 
 // spin burns roughly n units of CPU without touching shared memory.
 func spin(n int) uint64 {
@@ -107,6 +134,7 @@ func main() {
 	work := flag.Int("work", 20, "per-episode non-barrier work units (split barriers only)")
 	region := flag.Int("region", 0, "per-episode barrier-region work units (split barriers only)")
 	stats := flag.Bool("stats", true, "print the barrier's counter/histogram snapshot (split barriers only)")
+	jsonOut := flag.Bool("json", false, "emit a JSON array of measurements instead of text")
 	flag.Parse()
 
 	if *procs > runtime.GOMAXPROCS(0) {
@@ -118,6 +146,7 @@ func main() {
 	if *impl != "" {
 		names = []string{*impl}
 	}
+	var records []record
 	for _, name := range names {
 		if isSplit(name) {
 			d, b, err := measureSplit(name, *procs, *episodes, *work, *region)
@@ -125,11 +154,32 @@ func main() {
 				fmt.Fprintf(os.Stderr, "barbench: %v\n", err)
 				os.Exit(1)
 			}
-			hotspot := ""
+			var hotspotPerPhase *float64
 			if prof, ok := b.(core.ArriveProfiler); ok {
 				if ops, phases := prof.HotspotOps(); phases > 0 {
-					hotspot = fmt.Sprintf(" hotspot-ops/phase=%.1f", float64(ops)/float64(phases))
+					v := float64(ops) / float64(phases)
+					hotspotPerPhase = &v
 				}
+			}
+			if *jsonOut {
+				s := b.StatsSnapshot()
+				records = append(records, record{
+					Impl: name, Split: true, Procs: *procs, Episodes: *episodes,
+					Work: *work, Region: *region,
+					TotalNs: d.Nanoseconds(), NsPerEp: d.Nanoseconds() / int64(*episodes),
+					HotspotOps: hotspotPerPhase,
+					Stats: &splitStats{
+						Syncs: s.Syncs, Arrivals: s.Arrivals,
+						FastWaits: s.FastWaits, SpinWaits: s.SpinWaits,
+						Blocks: s.Blocks, SpinIters: s.SpinIters,
+						BlockRate: s.BlockRate(),
+					},
+				})
+				continue
+			}
+			hotspot := ""
+			if hotspotPerPhase != nil {
+				hotspot = fmt.Sprintf(" hotspot-ops/phase=%.1f", *hotspotPerPhase)
 			}
 			fmt.Printf("%-16s procs=%-3d episodes=%-8d region=%-4d total=%-12v per-episode=%v%s\n",
 				name+"(split)", *procs, *episodes, *region, d, d/time.Duration(*episodes), hotspot)
@@ -143,7 +193,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "barbench: %v\n", err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			records = append(records, record{
+				Impl: name, Procs: *procs, Episodes: *episodes,
+				TotalNs: d.Nanoseconds(), NsPerEp: d.Nanoseconds() / int64(*episodes),
+			})
+			continue
+		}
 		fmt.Printf("%-16s procs=%-3d episodes=%-8d total=%-12v per-episode=%v\n",
 			name, *procs, *episodes, d, d/time.Duration(*episodes))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintf(os.Stderr, "barbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,139 @@
+// Command clustersim runs the message-passing fuzzy barriers of
+// internal/cluster over a simulated lossy network and reports per-node
+// stall, message traffic, and recovery work.
+//
+// Usage:
+//
+//	clustersim                                  # all protocols, defaults
+//	clustersim -proto tree -nodes 16 -drop 0.1
+//	clustersim -proto dissemination -jitter 40 -log
+//	clustersim -proto central -drop 1 ; echo $?  # watchdog demo, exits 1
+//
+// Flags:
+//
+//	-proto P        protocol: central, tree, dissemination (default: all)
+//	-nodes N        cluster size (default 8)
+//	-epochs N       barrier episodes per node (default 50)
+//	-work N         non-barrier work ticks per epoch (default 400)
+//	-work-jitter N  extra uniform work draw in [0,N] (default 100)
+//	-region N       barrier-region ticks between Arrive and Wait (default 150)
+//	-latency N      base one-way link latency, ticks (default 20)
+//	-jitter N       extra uniform link latency in [0,N]; causes reordering
+//	-drop P         per-transmission loss probability (default 0)
+//	-dup P          per-transmission duplication probability (default 0)
+//	-straggler ID   node that runs late every epoch (with -straggle)
+//	-straggle N     extra work ticks for the straggler (default 0 = off)
+//	-arity K        combining-tree fanout (default 2)
+//	-seed S         RNG seed; same seed => byte-identical run (default 1)
+//	-log            print the full message-level event log
+//	-trace-out FILE write a Chrome trace-event JSON (chrome://tracing, Perfetto)
+//
+// Every run is deterministic and replayable. A run the watchdog declares
+// stuck prints the per-node diagnosis and exits nonzero.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fuzzybarrier/internal/cluster"
+	"fuzzybarrier/internal/trace"
+)
+
+func main() {
+	proto := flag.String("proto", "", "protocol: central, tree, dissemination (default: all)")
+	nodes := flag.Int("nodes", 8, "cluster size")
+	epochs := flag.Int("epochs", 50, "barrier episodes per node")
+	work := flag.Int64("work", 400, "non-barrier work ticks per epoch")
+	workJitter := flag.Int64("work-jitter", 100, "extra uniform work draw in [0,N]")
+	region := flag.Int64("region", 150, "barrier-region ticks between Arrive and Wait")
+	latency := flag.Int64("latency", 20, "base one-way link latency, ticks")
+	jitter := flag.Int64("jitter", 0, "extra uniform link latency in [0,N]")
+	drop := flag.Float64("drop", 0, "per-transmission loss probability")
+	dup := flag.Float64("dup", 0, "per-transmission duplication probability")
+	straggler := flag.Int("straggler", 0, "node that runs late every epoch")
+	straggle := flag.Int64("straggle", 0, "extra work ticks for the straggler (0 = off)")
+	arity := flag.Int("arity", 2, "combining-tree fanout")
+	seed := flag.Uint64("seed", 1, "RNG seed; same seed => byte-identical run")
+	logEvents := flag.Bool("log", false, "print the message-level event log")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file")
+	flag.Parse()
+
+	protos := cluster.Protocols()
+	if *proto != "" {
+		protos = []string{*proto}
+	}
+	if *traceOut != "" && len(protos) != 1 {
+		fatal(fmt.Errorf("-trace-out wants a single -proto, got %d protocols", len(protos)))
+	}
+
+	exit := 0
+	for _, p := range protos {
+		var rec *trace.Recorder
+		if *traceOut != "" {
+			rec = trace.NewRecorder(*nodes)
+		}
+		sim, err := cluster.New(cluster.Config{
+			Protocol:   p,
+			Nodes:      *nodes,
+			Epochs:     *epochs,
+			Work:       *work,
+			WorkJitter: *workJitter,
+			Region:     *region,
+			Straggler:  *straggler, StraggleExtra: *straggle,
+			Net: cluster.NetConfig{
+				Latency: *latency, Jitter: *jitter,
+				DropRate: *drop, DupRate: *dup,
+			},
+			TreeArity: *arity,
+			Seed:      *seed,
+			LogEvents: *logEvents,
+			Recorder:  rec,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		res, runErr := sim.Run()
+		if *logEvents {
+			for _, line := range sim.EventLog() {
+				fmt.Println(line)
+			}
+		}
+		fmt.Println(res)
+		for n, s := range res.PerNodeStall {
+			fmt.Printf("  node %-3d stall=%-8d (%.1f/epoch)\n", n, s, float64(s)/maxF(1, float64(res.Epochs)))
+		}
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "clustersim: %v\n", runErr)
+			exit = 1
+		}
+		if rec != nil {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rec.WriteChrome(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("chrome trace: %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+		}
+	}
+	os.Exit(exit)
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
+	os.Exit(1)
+}

@@ -21,7 +21,8 @@ import (
 )
 
 func main() {
-	id := flag.String("id", "", "run a single experiment (E1..E11)")
+	ids := exp.IDs()
+	id := flag.String("id", "", fmt.Sprintf("run a single experiment (%s..%s)", ids[0], ids[len(ids)-1]))
 	list := flag.Bool("list", false, "list experiments and exit")
 	csv := flag.Bool("csv", false, "emit CSV")
 	outDir := flag.String("out", "", "also write per-experiment .txt and .csv files to this directory")

@@ -1,0 +1,85 @@
+package cluster
+
+import "fmt"
+
+// coordinatorID is the central protocol's coordinator node (also a
+// participant, matching internal/baseline's central counter where the
+// counter word lives on one node's memory).
+const coordinatorID = 0
+
+// centralProto: every node reliably sends ARRIVE(e) to the coordinator;
+// once the coordinator has a distinct arrival from all n nodes it
+// reliably sends RELEASE(e) to everyone else and releases itself. Cost
+// is O(n) messages through one node per epoch — the message-passing
+// analog of the hot spot of Section 1.
+type centralProto struct {
+	n *node
+	// arrived (coordinator only): epoch -> the distinct nodes that
+	// arrived. The per-node set (not a count) is what makes duplicate
+	// ARRIVEs — retransmissions whose ack was lost, or network dups —
+	// idempotent.
+	arrived map[int64]map[int]bool
+}
+
+func newCentral(n *node) *centralProto {
+	c := &centralProto{n: n}
+	if n.id == coordinatorID {
+		c.arrived = make(map[int64]map[int]bool)
+	}
+	return c
+}
+
+func (c *centralProto) arrive(e int64) {
+	if c.n.id == coordinatorID {
+		c.record(coordinatorID, e)
+		return
+	}
+	c.n.out.send(Message{Kind: MsgArrive, To: coordinatorID, Epoch: e})
+}
+
+// record notes one distinct arrival at the coordinator and completes
+// the epoch when the set is full.
+func (c *centralProto) record(from int, e int64) {
+	if e < c.n.releasedThrough {
+		return // stale retransmission of an already-completed epoch
+	}
+	set := c.arrived[e]
+	if set == nil {
+		set = make(map[int]bool)
+		c.arrived[e] = set
+	}
+	if set[from] {
+		return
+	}
+	set[from] = true
+	if len(set) < c.n.s.cfg.Nodes {
+		return
+	}
+	delete(c.arrived, e)
+	for i := 0; i < c.n.s.cfg.Nodes; i++ {
+		if i != coordinatorID {
+			c.n.out.send(Message{Kind: MsgRelease, To: i, Epoch: e})
+		}
+	}
+	c.n.release(e)
+}
+
+func (c *centralProto) handle(m Message) {
+	switch m.Kind {
+	case MsgArrive:
+		c.record(m.From, m.Epoch)
+	case MsgRelease:
+		c.n.release(m.Epoch) // idempotent: stale duplicates are dropped there
+	}
+}
+
+func (c *centralProto) pendingLine() string {
+	if c.n.id != coordinatorID {
+		return fmt.Sprintf("awaiting release for epoch %d", c.n.releasedThrough)
+	}
+	out := "coordinator"
+	for _, e := range sortedEpochs(c.arrived) {
+		out += fmt.Sprintf(" e=%d:%d/%d", e, len(c.arrived[e]), c.n.s.cfg.Nodes)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// faultyConfig is a run with every fault class enabled — drop,
+// duplication, jitter (hence reordering) and a straggler — so the
+// determinism guarantee is tested where it matters.
+func faultyConfig(proto string, seed uint64) Config {
+	return Config{
+		Protocol: proto, Nodes: 6, Epochs: 15,
+		Work: 150, WorkJitter: 60, Region: 30,
+		Straggler: 3, StraggleExtra: 45,
+		Net:       NetConfig{Latency: 12, Jitter: 25, DropRate: 0.15, DupRate: 0.1},
+		Seed:      seed,
+		LogEvents: true,
+	}
+}
+
+// collectLog runs the config and returns the full event log as one
+// string plus the result.
+func collectLog(t *testing.T, cfg Config) (string, *Result) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.Protocol, err)
+	}
+	return strings.Join(s.EventLog(), "\n"), res
+}
+
+// TestSameSeedByteIdenticalEventLog: replayability. Two runs of the
+// same seeded config — drops, duplicates, jitter and all — must produce
+// byte-identical event logs and identical summary counters. This is
+// the property that makes cluster failures debuggable: any run can be
+// re-executed exactly.
+func TestSameSeedByteIdenticalEventLog(t *testing.T) {
+	for _, proto := range Protocols() {
+		a, resA := collectLog(t, faultyConfig(proto, 7))
+		b, resB := collectLog(t, faultyConfig(proto, 7))
+		if a != b {
+			t.Fatalf("%s: same seed produced different event logs:\n--- first run line diff ---\n%s",
+				proto, firstDiff(a, b))
+		}
+		if resA.String() != resB.String() {
+			t.Errorf("%s: same seed produced different results:\n%v\n%v", proto, resA, resB)
+		}
+		if a == "" {
+			t.Fatalf("%s: empty event log with LogEvents set", proto)
+		}
+	}
+}
+
+// TestDifferentSeedsDifferentDeliveryOrder: the seed must actually
+// steer the fault schedule — different seeds give different delivery
+// orders (and so different logs).
+func TestDifferentSeedsDifferentDeliveryOrder(t *testing.T) {
+	for _, proto := range Protocols() {
+		a, _ := collectLog(t, faultyConfig(proto, 7))
+		b, _ := collectLog(t, faultyConfig(proto, 8))
+		if a == b {
+			t.Errorf("%s: seeds 7 and 8 produced identical event logs", proto)
+		}
+	}
+}
+
+// firstDiff returns the first differing line of two multi-line strings.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  %s\n  %s", i, al[i], bl[i])
+		}
+	}
+	return "logs differ in length"
+}

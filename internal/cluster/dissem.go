@@ -1,0 +1,101 @@
+package cluster
+
+import "fmt"
+
+// dissProto: the dissemination barrier as a message protocol. In round
+// r (r = 0 .. ceil(log2 n)-1) node i sends ROUND(e, r) to node
+// (i + 2^r) mod n and waits for the symmetric message from
+// (i - 2^r) mod n; it may enter round r+1 only after completing round
+// r. After the last round every node has transitively heard from all n
+// participants, so it releases locally — no coordinator, no release
+// wave, and the critical path is log2 n message latencies.
+//
+// Because completion is local, a fast node can finish epoch e and send
+// ROUND(e+1, 0) while a peer is still collecting rounds for e; the
+// per-epoch got map buffers those early messages until the local
+// Arrive(e+1) starts consuming them (the sender's progress proves the
+// receiver arrived at e, so buffered state stays at most one epoch
+// deep).
+type dissProto struct {
+	n      *node
+	rounds int
+	// got: epoch -> set of rounds received from the expected senders.
+	got map[int64]map[int]bool
+	// cur: epoch -> the round the node is currently in; an entry exists
+	// only once the node itself arrived at that epoch.
+	cur map[int64]int
+}
+
+func newDissemination(n *node) *dissProto {
+	rounds := 0
+	for span := 1; span < n.s.cfg.Nodes; span *= 2 {
+		rounds++
+	}
+	return &dissProto{
+		n:      n,
+		rounds: rounds,
+		got:    make(map[int64]map[int]bool),
+		cur:    make(map[int64]int),
+	}
+}
+
+func (d *dissProto) arrive(e int64) {
+	d.cur[e] = 0
+	if d.rounds > 0 {
+		d.sendRound(e, 0)
+	}
+	d.advance(e)
+}
+
+func (d *dissProto) sendRound(e int64, r int) {
+	peer := (d.n.id + (1 << r)) % d.n.s.cfg.Nodes
+	d.n.out.send(Message{Kind: MsgRound, To: peer, Epoch: e, Round: r})
+}
+
+// advance consumes buffered round receipts: each completed round enters
+// (and sends) the next; completing the last round releases the epoch.
+func (d *dissProto) advance(e int64) {
+	r, arrived := d.cur[e]
+	if !arrived {
+		return // early message for an epoch we haven't reached
+	}
+	for r < d.rounds && d.got[e][r] {
+		r++
+		d.cur[e] = r
+		if r < d.rounds {
+			d.sendRound(e, r)
+		}
+	}
+	if r >= d.rounds {
+		delete(d.got, e)
+		delete(d.cur, e)
+		d.n.release(e)
+	}
+}
+
+func (d *dissProto) handle(m Message) {
+	if m.Kind != MsgRound {
+		return
+	}
+	if m.Epoch < d.n.releasedThrough {
+		return // stale retransmission of an already-completed epoch
+	}
+	set := d.got[m.Epoch]
+	if set == nil {
+		set = make(map[int]bool)
+		d.got[m.Epoch] = set
+	}
+	if set[m.Round] {
+		return // duplicate
+	}
+	set[m.Round] = true
+	d.advance(m.Epoch)
+}
+
+func (d *dissProto) pendingLine() string {
+	out := fmt.Sprintf("dissemination(rounds=%d)", d.rounds)
+	for _, e := range sortedEpochs(d.cur) {
+		out += fmt.Sprintf(" e=%d:round %d/%d", e, d.cur[e], d.rounds)
+	}
+	return out
+}

@@ -1,0 +1,43 @@
+package cluster
+
+import "fuzzybarrier/internal/trace"
+
+// network is the lossy link layer: every transmission independently
+// draws latency (base + uniform jitter), a drop outcome and a
+// duplication outcome from the run's seeded RNG. Because each copy
+// draws its own latency, jitter alone produces reordering — a
+// retransmission or a later message can overtake an earlier one — which
+// is exactly why the protocols carry epoch tags and sequence numbers.
+type network struct {
+	s   *Sim
+	rng *rng
+}
+
+// send hands one message to the network. Counting conventions: acks and
+// retransmissions are counted by their callers (node.handle / outbox);
+// drop/dup/delivery counters are bumped here per transmission.
+func (nw *network) send(m Message) {
+	cfg := &nw.s.cfg.Net
+	copies := 1
+	if cfg.DupRate > 0 && nw.rng.float() < cfg.DupRate {
+		copies = 2
+		nw.s.dups++
+	}
+	for c := 0; c < copies; c++ {
+		if cfg.DropRate > 0 && nw.rng.float() < cfg.DropRate {
+			nw.s.drops++
+			nw.s.logf(m.From, trace.EvDrop, "drop %v", m)
+			continue
+		}
+		delay := cfg.Latency
+		if cfg.Jitter > 0 {
+			delay += nw.rng.intN(cfg.Jitter + 1)
+		}
+		m := m
+		nw.s.schedule(delay, func() {
+			nw.s.delivered++
+			nw.s.logf(m.To, trace.EvRecv, "recv %v", m)
+			nw.s.nodes[m.To].handle(m)
+		})
+	}
+}

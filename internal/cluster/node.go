@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"fmt"
+
+	"fuzzybarrier/internal/stats"
+	"fuzzybarrier/internal/trace"
+)
+
+// node is one cluster participant. Its life is the paper's episode
+// structure: per epoch e, do non-barrier work, Arrive(e), execute the
+// barrier region, then Wait(e) — which blocks only if the protocol has
+// not released e by the time the region ends. The protocol's release
+// latency is therefore overlapped with (absorbed by) the region, and
+// the node's stall counter records exactly the unabsorbed remainder.
+type node struct {
+	id    int
+	s     *Sim
+	rng   *rng // work-jitter draws
+	out   *outbox
+	proto proto
+
+	epoch           int64 // epoch currently being executed
+	releasedThrough int64 // epochs < this have completed locally
+	blocked         bool
+	blockedAt       int64
+	done            bool
+
+	stall     int64
+	arriveAt  []int64 // per-epoch Arrive timestamps
+	releaseAt []int64 // per-epoch release (Wait-satisfiable) timestamps
+}
+
+// proto is the per-node protocol state machine. arrive is invoked by
+// the node when it issues Arrive(e); handle receives every delivered
+// non-ack message. Implementations call node.release(e) when epoch e
+// completes locally.
+type proto interface {
+	arrive(e int64)
+	handle(m Message)
+	// pendingLine renders the in-flight epoch state for stuck reports.
+	pendingLine() string
+}
+
+func newNode(s *Sim, id int) *node {
+	n := &node{
+		id:        id,
+		s:         s,
+		rng:       newRNG(mix(s.cfg.Seed, uint64(id)+1)),
+		arriveAt:  make([]int64, s.cfg.Epochs),
+		releaseAt: make([]int64, s.cfg.Epochs),
+	}
+	n.out = newOutbox(n)
+	switch s.cfg.Protocol {
+	case "central":
+		n.proto = newCentral(n)
+	case "tree":
+		n.proto = newTree(n)
+	case "dissemination":
+		n.proto = newDissemination(n)
+	default:
+		// withDefaults validated the name; reaching here is a bug.
+		panic(fmt.Sprintf("cluster: unregistered protocol %q", s.cfg.Protocol))
+	}
+	return n
+}
+
+// startEpoch schedules epoch e's non-barrier work, or retires the node
+// when every epoch is done.
+func (n *node) startEpoch(e int64) {
+	if e >= int64(n.s.cfg.Epochs) {
+		n.done = true
+		n.s.doneNodes++
+		return
+	}
+	n.epoch = e
+	w := n.s.cfg.Work
+	if n.s.cfg.WorkJitter > 0 {
+		w += n.rng.intN(n.s.cfg.WorkJitter + 1)
+	}
+	if n.s.cfg.StraggleExtra > 0 && n.id == n.s.cfg.Straggler {
+		w += n.s.cfg.StraggleExtra
+	}
+	start := n.s.now
+	n.s.schedule(w, func() {
+		n.markRange(start, n.s.now, trace.KindWork)
+		n.workDone(e)
+	})
+}
+
+// workDone is the node's Arrive(e): record the timestamp, let the
+// protocol start synchronizing, and begin the barrier region.
+func (n *node) workDone(e int64) {
+	n.arriveAt[e] = n.s.now
+	n.proto.arrive(e)
+	start := n.s.now
+	n.s.schedule(n.s.cfg.Region, func() {
+		n.markRange(start, n.s.now, trace.KindBarrier)
+		n.regionDone(e)
+	})
+}
+
+// regionDone is the node's Wait(e): free if the release already
+// arrived during the region, blocked otherwise.
+func (n *node) regionDone(e int64) {
+	if n.releasedThrough > e {
+		n.startEpoch(e + 1)
+		return
+	}
+	n.blocked = true
+	n.blockedAt = n.s.now
+}
+
+// release marks epoch e complete at this node; the protocols call it
+// exactly once per epoch (their receive paths drop stale duplicates
+// first, and epochs complete in order by construction — a node cannot
+// arrive at e+1 before releasing e, and no protocol releases e before
+// every node arrived at e).
+func (n *node) release(e int64) {
+	if e < n.releasedThrough {
+		return // duplicate release: already complete, ignore
+	}
+	if e > n.releasedThrough {
+		panic(fmt.Sprintf("cluster: node %d released epoch %d before %d", n.id, e, n.releasedThrough))
+	}
+	n.releaseAt[e] = n.s.now
+	n.releasedThrough = e + 1
+	n.s.lastProgress = n.s.now
+	if rec := n.s.cfg.Recorder; rec != nil {
+		rec.Mark(n.s.now, n.id, trace.KindSync)
+		rec.Eventf(n.s.now, n.id, "epoch %d complete", e)
+	}
+	if n.blocked {
+		n.blocked = false
+		n.stall += n.s.now - n.blockedAt
+		n.markRange(n.blockedAt, n.s.now, trace.KindStall)
+		n.startEpoch(e + 1)
+	}
+}
+
+// handle dispatches one delivered message: acks feed the outbox; every
+// other kind is acknowledged (so the sender stops retransmitting) and
+// handed to the protocol, whose handlers are idempotent — a duplicate
+// delivery re-acks and re-applies a no-op.
+func (n *node) handle(m Message) {
+	if m.Kind == MsgAck {
+		n.out.ack(m.Seq)
+		return
+	}
+	n.s.acks++
+	n.s.net.send(Message{Kind: MsgAck, From: n.id, To: m.From, Epoch: m.Epoch, Seq: m.Seq})
+	n.proto.handle(m)
+}
+
+// markRange paints [from, to) on the node's trace lane; a nil recorder
+// makes this free.
+func (n *node) markRange(from, to int64, k trace.Kind) {
+	rec := n.s.cfg.Recorder
+	if rec == nil {
+		return
+	}
+	for c := from; c < to; c++ {
+		rec.Mark(c, n.id, k)
+	}
+}
+
+// stateLine renders the node's position for stuck reports.
+func (n *node) stateLine() string {
+	switch {
+	case n.done:
+		return "done"
+	case n.blocked:
+		return fmt.Sprintf("blocked in Wait(epoch %d) since t=%d; unacked=%d; %s",
+			n.epoch, n.blockedAt, len(n.out.pending), n.proto.pendingLine())
+	default:
+		return fmt.Sprintf("executing epoch %d (released through %d); unacked=%d; %s",
+			n.epoch, n.releasedThrough, len(n.out.pending), n.proto.pendingLine())
+	}
+}
+
+// outbox is the reliable-delivery layer: each logical send keeps a
+// pending record until the matching ack returns; a timer retransmits on
+// a Jacobson/Karels-estimated RTO with exponential backoff (capped at
+// MaxRTO). Retransmissions reuse the original sequence number, so the
+// receiver's ack matches whichever copy got through and duplicates are
+// harmless.
+type outbox struct {
+	n       *node
+	seq     uint64
+	pending map[uint64]*pendingMsg
+	rtt     stats.RTTEstimator
+}
+
+type pendingMsg struct {
+	m         Message
+	firstSent int64
+	rto       int64
+	tries     int
+}
+
+func newOutbox(n *node) *outbox {
+	return &outbox{n: n, pending: make(map[uint64]*pendingMsg)}
+}
+
+// send transmits m reliably (assigning its sequence number).
+func (o *outbox) send(m Message) {
+	o.seq++
+	m.Seq = o.seq
+	m.From = o.n.id
+	p := &pendingMsg{m: m, firstSent: o.n.s.now, rto: o.rto(), tries: 1}
+	o.pending[m.Seq] = p
+	o.n.s.sends++
+	o.n.s.logf(o.n.id, trace.EvSend, "send %v", m)
+	o.n.s.net.send(m)
+	o.armTimer(p)
+}
+
+func (o *outbox) armTimer(p *pendingMsg) {
+	seq := p.m.Seq
+	o.n.s.schedule(p.rto, func() { o.timeout(seq) })
+}
+
+// timeout retransmits a still-unacked message and doubles its RTO.
+func (o *outbox) timeout(seq uint64) {
+	p, ok := o.pending[seq]
+	if !ok {
+		return // acked since the timer was armed
+	}
+	p.tries++
+	p.rto *= 2
+	if p.rto > o.n.s.cfg.MaxRTO {
+		p.rto = o.n.s.cfg.MaxRTO
+	}
+	o.n.s.retransmits++
+	o.n.s.logf(o.n.id, trace.EvRetransmit, "retransmit %v try=%d rto=%d", p.m, p.tries, p.rto)
+	o.n.s.net.send(p.m)
+	o.armTimer(p)
+}
+
+// ack retires a pending message. Only never-retransmitted messages
+// contribute RTT samples (Karn's rule: a retransmitted message's ack is
+// ambiguous about which copy it answers).
+func (o *outbox) ack(seq uint64) {
+	p, ok := o.pending[seq]
+	if !ok {
+		return // duplicate ack
+	}
+	if p.tries == 1 {
+		o.rtt.Observe(float64(o.n.s.now - p.firstSent))
+	}
+	delete(o.pending, seq)
+}
+
+// rto returns the current retransmission timeout: the estimator's
+// recommendation plus one tick of clock granularity (without it, a
+// jitter-free link converges to RTO == RTT exactly and every ack ties
+// with its own retransmission timer), clamped to [InitRTO/4, MaxRTO];
+// InitRTO before any sample.
+func (o *outbox) rto() int64 {
+	est := int64(o.rtt.RTO())
+	if est <= 0 {
+		return o.n.s.cfg.InitRTO
+	}
+	est++
+	if min := o.n.s.cfg.InitRTO / 4; est < min {
+		est = min
+	}
+	if est < 1 {
+		est = 1
+	}
+	if est > o.n.s.cfg.MaxRTO {
+		est = o.n.s.cfg.MaxRTO
+	}
+	return est
+}

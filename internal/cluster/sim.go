@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+
+	"fuzzybarrier/internal/trace"
+)
+
+// event is one scheduled callback. seq breaks time ties in insertion
+// order, which — together with the single-threaded loop and seeded RNG —
+// makes every run fully deterministic.
+type event struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap on (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is one deterministic discrete-event cluster-barrier run.
+type Sim struct {
+	cfg   Config
+	now   int64
+	heap  eventHeap
+	eseq  uint64
+	net   *network
+	nodes []*node
+	log   []string
+
+	lastProgress int64 // sim time of the most recent epoch completion
+	doneNodes    int
+	stuck        *StuckReport
+
+	// Network/reliability counters (see Result).
+	sends, acks, retransmits, drops, dups, delivered int64
+
+	ran bool
+}
+
+// New validates cfg, applies defaults, and builds a ready-to-Run Sim.
+func New(cfg Config) (*Sim, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &Sim{cfg: cfg}
+	s.net = &network{s: s, rng: newRNG(mix(cfg.Seed, 0xC0FFEE))}
+	s.nodes = make([]*node, cfg.Nodes)
+	for i := range s.nodes {
+		s.nodes[i] = newNode(s, i)
+	}
+	return s, nil
+}
+
+// schedule runs fn after delay ticks (clamped to now for non-positive
+// delays).
+func (s *Sim) schedule(delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.eseq++
+	heap.Push(&s.heap, &event{at: s.now + delay, seq: s.eseq, fn: fn})
+}
+
+// logf records one event-log line and mirrors it to the trace recorder.
+// The log is append-only and produced by a single-threaded loop, so for
+// a fixed Config it is byte-identical across runs — the replayability
+// guarantee the fault-injection tests pin down.
+func (s *Sim) logf(nodeID int, kind trace.EventKind, format string, args ...any) {
+	if s.cfg.Recorder == nil && !s.cfg.LogEvents {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	s.cfg.Recorder.EventKindf(s.now, nodeID, kind, "%s", msg)
+	if s.cfg.LogEvents {
+		s.log = append(s.log, fmt.Sprintf("t=%-8d n%-3d %-14s %s", s.now, nodeID, kind, msg))
+	}
+}
+
+// EventLog returns the recorded log lines (empty unless
+// Config.LogEvents was set).
+func (s *Sim) EventLog() []string { return s.log }
+
+// Run executes the simulation to completion (every node through every
+// epoch) or until the watchdog declares it stuck / the tick budget is
+// exhausted. The Result is returned in both cases; the error is non-nil
+// only for stuck runs and carries the StuckReport.
+func (s *Sim) Run() (*Result, error) {
+	if s.ran {
+		return nil, fmt.Errorf("cluster: Sim.Run called twice (build a new Sim to replay)")
+	}
+	s.ran = true
+	for _, n := range s.nodes {
+		n.startEpoch(0)
+	}
+	for s.doneNodes < len(s.nodes) {
+		if s.heap.Len() == 0 {
+			// No pending events but nodes unfinished: a protocol bug
+			// (reliable delivery always leaves a timer pending).
+			s.diagnoseStuck("event queue drained")
+			break
+		}
+		ev := heap.Pop(&s.heap).(*event)
+		s.now = ev.at
+		if s.now-s.lastProgress > s.cfg.WatchdogAfter {
+			s.diagnoseStuck("no epoch completed within watchdog window")
+			break
+		}
+		if s.now > s.cfg.MaxTicks {
+			s.diagnoseStuck("tick budget exhausted")
+			break
+		}
+		ev.fn()
+	}
+	res := s.result()
+	if s.stuck != nil {
+		return res, fmt.Errorf("cluster: %s run stuck: %s", s.cfg.Protocol, s.stuck)
+	}
+	return res, nil
+}
+
+// diagnoseStuck builds the watchdog report: the laggiest node, the
+// epoch it is wedged in, and a state line per node, all rendered
+// through the trace layer as EvTimeout events.
+func (s *Sim) diagnoseStuck(why string) {
+	rep := &StuckReport{At: s.now, Node: -1}
+	minReleased := int64(-1)
+	for _, n := range s.nodes {
+		if !n.done && (rep.Node < 0 || n.releasedThrough < minReleased) {
+			minReleased = n.releasedThrough
+			rep.Node = n.id
+			rep.Epoch = n.releasedThrough
+		}
+		rep.States = append(rep.States, fmt.Sprintf("node %d: %s", n.id, n.stateLine()))
+	}
+	s.logf(rep.Node, trace.EvTimeout, "watchdog (%s): node %d stuck at epoch %d", why, rep.Node, rep.Epoch)
+	for i, line := range rep.States {
+		s.logf(i, trace.EvTimeout, "%s", line)
+	}
+	s.stuck = rep
+}
+
+// result snapshots the counters into a Result.
+func (s *Sim) result() *Result {
+	res := &Result{
+		Protocol: s.cfg.Protocol,
+		Nodes:    s.cfg.Nodes,
+		Epochs:   s.cfg.Epochs,
+		Ticks:    s.now,
+		Sends:    s.sends, Acks: s.acks, Retransmits: s.retransmits,
+		Drops: s.drops, Dups: s.dups, Delivered: s.delivered,
+		Stuck: s.stuck,
+	}
+	for _, n := range s.nodes {
+		res.Stall += n.stall
+		res.PerNodeStall = append(res.PerNodeStall, n.stall)
+		res.ArriveAt = append(res.ArriveAt, n.arriveAt)
+		res.ReleaseAt = append(res.ReleaseAt, n.releaseAt)
+	}
+	return res
+}

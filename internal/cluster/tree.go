@@ -1,0 +1,92 @@
+package cluster
+
+import "fmt"
+
+// treeProto: arrivals combine up a radix-k tree (node i's parent is
+// (i-1)/k, its children k*i+1 .. k*i+k). A node forwards ARRIVE(e) to
+// its parent once its own arrival and one from each child subtree are
+// in; the root then starts a RELEASE(e) wave back down. No node handles
+// more than k+1 peers per epoch — the message-passing analog of
+// core.TreeBarrier removing the central hot spot.
+type treeProto struct {
+	n        *node
+	parent   int // -1 at the root
+	children []int
+	need     int // self + direct children
+	// got: epoch -> the distinct subtree arrivals seen (own id plus
+	// child ids). Kept until the epoch releases so duplicate ARRIVEs
+	// stay idempotent even after the subtree forwarded upward.
+	got map[int64]map[int]bool
+}
+
+func newTree(n *node) *treeProto {
+	k := n.s.cfg.TreeArity
+	t := &treeProto{n: n, parent: -1, got: make(map[int64]map[int]bool)}
+	if n.id > 0 {
+		t.parent = (n.id - 1) / k
+	}
+	for c := k*n.id + 1; c <= k*n.id+k && c < n.s.cfg.Nodes; c++ {
+		t.children = append(t.children, c)
+	}
+	t.need = 1 + len(t.children)
+	return t
+}
+
+func (t *treeProto) arrive(e int64) { t.record(t.n.id, e) }
+
+// record notes one subtree arrival; when the set fills, the subtree is
+// complete: the root starts the release wave, everyone else combines
+// upward.
+func (t *treeProto) record(from int, e int64) {
+	if e < t.n.releasedThrough {
+		return // stale retransmission of an already-completed epoch
+	}
+	set := t.got[e]
+	if set == nil {
+		set = make(map[int]bool)
+		t.got[e] = set
+	}
+	if set[from] {
+		return
+	}
+	set[from] = true
+	if len(set) < t.need {
+		return
+	}
+	if t.parent < 0 {
+		t.down(e)
+		return
+	}
+	t.n.out.send(Message{Kind: MsgArrive, To: t.parent, Epoch: e})
+}
+
+// down releases epoch e locally and forwards the release wave to the
+// children; the per-epoch arrival state is pruned here, after which the
+// releasedThrough guard classifies any late duplicate as stale.
+func (t *treeProto) down(e int64) {
+	if e < t.n.releasedThrough {
+		return // duplicate release
+	}
+	for _, c := range t.children {
+		t.n.out.send(Message{Kind: MsgRelease, To: c, Epoch: e})
+	}
+	delete(t.got, e)
+	t.n.release(e)
+}
+
+func (t *treeProto) handle(m Message) {
+	switch m.Kind {
+	case MsgArrive:
+		t.record(m.From, m.Epoch)
+	case MsgRelease:
+		t.down(m.Epoch)
+	}
+}
+
+func (t *treeProto) pendingLine() string {
+	out := fmt.Sprintf("tree(parent=%d, children=%d)", t.parent, len(t.children))
+	for _, e := range sortedEpochs(t.got) {
+		out += fmt.Sprintf(" e=%d:%d/%d", e, len(t.got[e]), t.need)
+	}
+	return out
+}

@@ -289,3 +289,48 @@ func TestE11BoundHolds(t *testing.T) {
 		}
 	}
 }
+
+// TestE15DeterministicReplay pins the acceptance criterion for the
+// cluster experiment: even with drop and duplication enabled, two
+// generations of the table are byte-identical (seeded RNG,
+// single-threaded event loop, (time, seq) tie-breaking).
+func TestE15DeterministicReplay(t *testing.T) {
+	a, err := E15ClusterSync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := E15ClusterSync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CSV() != b.CSV() {
+		t.Fatal("E15 table differs across runs — cluster sim is nondeterministic")
+	}
+}
+
+// TestE15RegionAbsorbsClusterSync checks the headline shape per
+// (protocol, network) series: the half-body region cuts per-epoch stall
+// by at least 4x versus the crisp barrier, and the monotone check in the
+// generator itself must not have fired (covered by TestAllExperimentsRun,
+// re-asserted here against the ratio).
+func TestE15RegionAbsorbsClusterSync(t *testing.T) {
+	tbl, err := E15ClusterSync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := len(e15Regions)
+	if tbl.NumRows()%per != 0 {
+		t.Fatalf("row count %d not a multiple of the region sweep %d", tbl.NumRows(), per)
+	}
+	for s := 0; s < tbl.NumRows(); s += per {
+		label := tbl.Rows()[s][0] + "/" + tbl.Rows()[s][1]
+		crisp := cell(t, tbl, s, 4)
+		fuzzy := cell(t, tbl, s+per-1, 4)
+		if crisp < float64(e15Latency) {
+			t.Errorf("%s: crisp stall %v below one link latency — sync cost not visible", label, crisp)
+		}
+		if fuzzy*4 > crisp {
+			t.Errorf("%s: half-body region should cut stall >=4x: crisp=%v fuzzy=%v", label, crisp, fuzzy)
+		}
+	}
+}

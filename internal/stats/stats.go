@@ -248,6 +248,51 @@ func (h *Histogram) String() string {
 	return out
 }
 
+// RTTEstimator is the Jacobson/Karels smoothed round-trip-time filter
+// (the RFC 6298 rules): an EWMA of the RTT (srtt, gain 1/8) and of its
+// deviation (rttvar, gain 1/4), combined into a retransmission timeout
+// of srtt + 4*rttvar. internal/cluster's reliable-delivery layer feeds
+// it ack-measured RTTs; the zero value is ready to use.
+type RTTEstimator struct {
+	srtt, rttvar float64
+	n            int
+}
+
+// Observe folds one RTT sample into the filter. Negative and NaN
+// samples are ignored (a retransmitted message has no unambiguous RTT —
+// Karn's rule — so callers simply skip those).
+func (e *RTTEstimator) Observe(sample float64) {
+	if sample < 0 || math.IsNaN(sample) {
+		return
+	}
+	if e.n == 0 {
+		e.srtt = sample
+		e.rttvar = sample / 2
+	} else {
+		const alpha, beta = 1.0 / 8, 1.0 / 4
+		d := sample - e.srtt
+		e.rttvar = (1-beta)*e.rttvar + beta*math.Abs(d)
+		e.srtt += alpha * d
+	}
+	e.n++
+}
+
+// Samples returns the number of samples observed.
+func (e *RTTEstimator) Samples() int { return e.n }
+
+// SRTT returns the smoothed round-trip time (0 before any sample).
+func (e *RTTEstimator) SRTT() float64 { return e.srtt }
+
+// RTO returns the recommended retransmission timeout, srtt + 4*rttvar,
+// or 0 before any sample (callers fall back to their configured initial
+// timeout).
+func (e *RTTEstimator) RTO() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	return e.srtt + 4*e.rttvar
+}
+
 // Series is a named (x, y) series used by the experiment tables.
 type Series struct {
 	Name string
@@ -265,9 +310,19 @@ func (s *Series) Add(x, y float64) {
 // non-decreasing (dir > 0), within a relative tolerance tol. It is the
 // check the experiment harness uses to validate "shape" claims.
 func (s *Series) Monotone(dir int, tol float64) bool {
+	return s.MonotoneSlack(dir, tol, 0)
+}
+
+// MonotoneSlack is Monotone with an additional absolute slack: adjacent
+// points may violate the direction by abs plus rel times their
+// magnitude. The absolute term matters for series that decay toward
+// zero (e.g. residual stall ticks), where a purely relative tolerance
+// shrinks to nothing and noise of a fraction of a tick would fail an
+// otherwise clean monotone shape.
+func (s *Series) MonotoneSlack(dir int, rel, abs float64) bool {
 	for i := 1; i < len(s.Y); i++ {
 		prev, cur := s.Y[i-1], s.Y[i]
-		slack := tol * math.Max(math.Abs(prev), math.Abs(cur))
+		slack := abs + rel*math.Max(math.Abs(prev), math.Abs(cur))
 		switch {
 		case dir < 0 && cur > prev+slack:
 			return false

@@ -288,3 +288,59 @@ func TestPercentileMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRTTEstimator exercises the Jacobson/Karels filter: first sample
+// initializes srtt directly, later samples are smoothed, and bad
+// samples (negative, NaN) are ignored per Karn's rule.
+func TestRTTEstimator(t *testing.T) {
+	var e RTTEstimator
+	if e.RTO() != 0 || e.Samples() != 0 {
+		t.Fatalf("zero value: RTO=%v samples=%d, want 0,0", e.RTO(), e.Samples())
+	}
+	e.Observe(100)
+	if e.SRTT() != 100 {
+		t.Errorf("first sample: srtt=%v, want 100", e.SRTT())
+	}
+	if got := e.RTO(); got != 100+4*50 {
+		t.Errorf("first sample: RTO=%v, want 300", got)
+	}
+	e.Observe(-5)
+	e.Observe(math.NaN())
+	if e.Samples() != 1 {
+		t.Errorf("bad samples counted: %d, want 1", e.Samples())
+	}
+	// A steady stream of identical samples converges: variance decays,
+	// RTO approaches the sample value.
+	for i := 0; i < 200; i++ {
+		e.Observe(100)
+	}
+	if e.SRTT() != 100 {
+		t.Errorf("steady state srtt=%v, want 100", e.SRTT())
+	}
+	if rto := e.RTO(); rto > 110 {
+		t.Errorf("steady state RTO=%v, want near 100", rto)
+	}
+	// A jump upward raises the RTO above the new srtt (variance spike).
+	e.Observe(500)
+	if e.RTO() < e.SRTT() {
+		t.Errorf("RTO %v below srtt %v after variance spike", e.RTO(), e.SRTT())
+	}
+}
+
+// TestMonotoneSlack: absolute slack forgives noise near zero that a
+// purely relative tolerance would reject.
+func TestMonotoneSlack(t *testing.T) {
+	var s Series
+	for i, y := range []float64{100, 40, 10, 0.3, 0.5, 0.2} {
+		s.Add(float64(i), y)
+	}
+	if s.Monotone(-1, 0.1) {
+		t.Error("relative-only tolerance should reject the 0.3 -> 0.5 bump")
+	}
+	if !s.MonotoneSlack(-1, 0.1, 0.5) {
+		t.Error("absolute slack 0.5 should forgive the 0.3 -> 0.5 bump")
+	}
+	if s.MonotoneSlack(1, 0.1, 0.5) {
+		t.Error("series is not non-decreasing under any small slack")
+	}
+}

@@ -62,7 +62,7 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 		for _, ev := range r.Events() {
 			events = append(events, chromeEvent{
 				Name:  ev.What,
-				Cat:   "event",
+				Cat:   ev.Kind.String(),
 				Phase: "i",
 				TS:    ev.Cycle,
 				PID:   0,

@@ -82,10 +82,45 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%q)", byte(k))
 }
 
+// EventKind classifies discrete events (as opposed to the per-cycle lane
+// Kinds). The zero value EvGeneric covers everything the shared-memory
+// simulator records; the network kinds are emitted by internal/cluster's
+// message-passing barriers so protocol traffic can be filtered on a
+// Chrome/Perfetto timeline or grepped out of an event log.
+type EventKind byte
+
+// Discrete event kinds.
+const (
+	EvGeneric    EventKind = iota // default: sync fired, fault, halt, ...
+	EvSend                        // a message was handed to the network
+	EvRecv                        // a message was delivered
+	EvRetransmit                  // a retransmission timer fired
+	EvDrop                        // the network dropped a transmission
+	EvTimeout                     // a watchdog/timeout diagnosis
+)
+
+// String returns the kind's Chrome trace category name.
+func (k EventKind) String() string {
+	switch k {
+	case EvSend:
+		return "net.send"
+	case EvRecv:
+		return "net.recv"
+	case EvRetransmit:
+		return "net.retransmit"
+	case EvDrop:
+		return "net.drop"
+	case EvTimeout:
+		return "watchdog"
+	}
+	return "event"
+}
+
 // Event is a single recorded occurrence in a simulation.
 type Event struct {
 	Cycle int64
 	Proc  int
+	Kind  EventKind
 	What  string
 }
 
@@ -127,12 +162,19 @@ func (r *Recorder) Mark(cycle int64, p int, k Kind) {
 	}
 }
 
-// Eventf records a discrete, printf-formatted event.
+// Eventf records a discrete, printf-formatted event of kind EvGeneric.
 func (r *Recorder) Eventf(cycle int64, p int, format string, args ...any) {
+	r.EventKindf(cycle, p, EvGeneric, format, args...)
+}
+
+// EventKindf records a discrete event tagged with an EventKind; the
+// Chrome exporter uses the kind as the event's category so network
+// traffic (send/recv/retransmit/drop) can be filtered on the timeline.
+func (r *Recorder) EventKindf(cycle int64, p int, kind EventKind, format string, args ...any) {
 	if r == nil {
 		return
 	}
-	r.events = append(r.events, Event{Cycle: cycle, Proc: p, What: fmt.Sprintf(format, args...)})
+	r.events = append(r.events, Event{Cycle: cycle, Proc: p, Kind: kind, What: fmt.Sprintf(format, args...)})
 }
 
 // MaxCycle returns the highest cycle marked so far (0 when nothing has
