@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-smoke fmt-check
+.PHONY: verify build vet test race bench bench-smoke bench-gate fmt-check
 
 verify: build vet race fmt-check
 
@@ -28,13 +28,21 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # CI-sized benchmark smoke test: one iteration of the n=8 split-scaling
-# points, the allocs/op=0 check on the barrier hot path, and a
-# machine-readable barbench run archived as BENCH_SMOKE.json.
+# points, the allocs/op=0 check on the barrier hot path, the fast-forward
+# and sweep-pool before/after benchmarks, and a machine-readable barbench
+# run (-sim adds the before/after pairs) archived as BENCH_SMOKE.json.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'E2SplitScaling/[^/]*/p8/region=0$$' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BarrierHotPathAllocs' -benchtime 100x -benchmem ./internal/core
-	$(GO) run ./cmd/barbench -procs 2 -episodes 5000 -json > BENCH_SMOKE.json
+	$(GO) test -run '^$$' -bench 'MachineFastForward|SweepParallel' -benchtime 1x .
+	$(GO) run ./cmd/barbench -procs 2 -episodes 5000 -json -sim > BENCH_SMOKE.json
 	@head -c 200 BENCH_SMOKE.json; echo; echo "wrote BENCH_SMOKE.json"
+
+# Perf regression gate: fails if fast-forwarded machine.Run is not
+# comfortably faster than the naive per-cycle loop on a stall-heavy
+# workload (threshold 1.2x; typical measured ratio is ~10x).
+bench-gate:
+	BENCH_GATE=1 $(GO) test -run TestFastForwardSpeedupGate -count=1 -v ./internal/machine
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

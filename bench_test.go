@@ -558,3 +558,54 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim-instrs/s")
 }
+
+// ---------------------------------------------------------------------
+// Fast-forward engine and parallel sweeps (perf additions)
+// ---------------------------------------------------------------------
+
+// BenchmarkMachineFastForward measures the cycle fast-forward engine on
+// a stall-heavy drift workload: "naive" steps every cycle, "fast" jumps
+// idle spans. Both produce bit-identical results (see
+// internal/machine/ff_test.go); the ratio of the two ns/op numbers is
+// the speedup the engine buys.
+func BenchmarkMachineFastForward(b *testing.B) {
+	const procs, iters = 8, 200
+	progs, err := workload.StallHeavyPrograms(procs, iters, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"naive", true}, {"fast", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				res := runSim(b, machine.Config{
+					Mem:                simMem(procs, 256),
+					DisableFastForward: mode.disable,
+				}, progs)
+				cycles = res.Cycles
+			}
+			b.ReportMetric(float64(cycles), "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkSweepParallel measures the sweep worker pool on the full E15
+// cluster sweep (54 independent (protocol, network, region) cells):
+// workers=1 is the pre-pool serial baseline, workers=4 the parallel
+// run. Tables are byte-identical either way (exp.TestParallelDeterminism).
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			exp.SetParallelism(workers)
+			defer exp.SetParallelism(0)
+			for i := 0; i < b.N; i++ {
+				if _, err := exp.E15ClusterSync(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

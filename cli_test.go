@@ -239,3 +239,87 @@ func TestCLIClustersim(t *testing.T) {
 		t.Errorf("missing stuck diagnosis:\n%s", out)
 	}
 }
+
+func TestCLIBarbenchSimJSON(t *testing.T) {
+	dir := buildTools(t)
+	out, err := runTool(t, dir, "barbench",
+		"-procs", "2", "-episodes", "200", "-impl", "central", "-json", "-sim")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	// With -sim the JSON becomes one combined object.
+	i := strings.Index(out, "{")
+	if i < 0 {
+		t.Fatalf("no JSON object in output:\n%s", out)
+	}
+	var doc struct {
+		Barbench []struct {
+			Impl string `json:"impl"`
+		} `json:"barbench"`
+		FF struct {
+			BeforeNs int64   `json:"before_ns"`
+			AfterNs  int64   `json:"after_ns"`
+			Speedup  float64 `json:"speedup"`
+		} `json:"machine_fast_forward"`
+		Sweep struct {
+			Cells    int     `json:"cells"`
+			MaxProcs int     `json:"maxprocs"`
+			Speedup  float64 `json:"speedup"`
+		} `json:"sweep_parallel"`
+	}
+	if err := json.Unmarshal([]byte(out[i:]), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(doc.Barbench) != 1 || doc.Barbench[0].Impl != "central" {
+		t.Errorf("unexpected barbench records: %+v", doc.Barbench)
+	}
+	if doc.FF.BeforeNs <= 0 || doc.FF.AfterNs <= 0 || doc.FF.Speedup <= 0 {
+		t.Errorf("implausible fast-forward measurement: %+v", doc.FF)
+	}
+	if doc.Sweep.Cells != 54 || doc.Sweep.MaxProcs < 1 || doc.Sweep.Speedup <= 0 {
+		t.Errorf("implausible sweep measurement: %+v", doc.Sweep)
+	}
+}
+
+func TestCLIClustersimSeedSweep(t *testing.T) {
+	dir := buildTools(t)
+	args := []string{"-proto", "tree", "-nodes", "4", "-epochs", "8", "-jitter", "10", "-seeds", "3"}
+	serial, err := runTool(t, dir, "clustersim", append(args, "-parallel", "1")...)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, serial)
+	}
+	for _, want := range []string{"seed 1:", "seed 2:", "seed 3:"} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("missing %q:\n%s", want, serial)
+		}
+	}
+	// The pooled sweep prints the identical transcript in seed order.
+	pooled, err := runTool(t, dir, "clustersim", append(args, "-parallel", "4")...)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, pooled)
+	}
+	if serial != pooled {
+		t.Errorf("-parallel changed the transcript:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, pooled)
+	}
+}
+
+func TestCLIProfileFlags(t *testing.T) {
+	dir := buildTools(t)
+	tmp := t.TempDir()
+	cpu := filepath.Join(tmp, "cpu.pprof")
+	mem := filepath.Join(tmp, "mem.pprof")
+	out, err := runTool(t, dir, "experiments", "-id", "E1",
+		"-cpuprofile", cpu, "-memprofile", mem)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("empty profile %s", p)
+		}
+	}
+}

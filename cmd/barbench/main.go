@@ -11,6 +11,8 @@
 //	barbench -impl fuzzy -region 50 # fuzzy with 50 units of region work
 //	barbench -impl fuzzy-tree -procs 256
 //	barbench -json > bench.json     # machine-readable measurements
+//	barbench -json -sim             # plus simulator perf before/after pairs
+//	barbench -cpuprofile cpu.pprof  # write a pprof CPU profile
 //
 // Wall-clock numbers on a time-shared goroutine scheduler are noisy; run
 // several times and look at the ordering, not the absolute values (the
@@ -33,6 +35,7 @@ import (
 
 	"fuzzybarrier/internal/baseline"
 	"fuzzybarrier/internal/core"
+	"fuzzybarrier/internal/prof"
 )
 
 // record is the machine-readable form of one measurement (-json).
@@ -135,7 +138,21 @@ func main() {
 	region := flag.Int("region", 0, "per-episode barrier-region work units (split barriers only)")
 	stats := flag.Bool("stats", true, "print the barrier's counter/histogram snapshot (split barriers only)")
 	jsonOut := flag.Bool("json", false, "emit a JSON array of measurements instead of text")
+	sim := flag.Bool("sim", false, "also measure the simulator fast-forward and sweep pool (before/after pairs); with -json the output becomes one combined object")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "barbench: %v\n", err)
+		os.Exit(1)
+	}
+	die := func(err error) {
+		fmt.Fprintf(os.Stderr, "barbench: %v\n", err)
+		stopProf()
+		os.Exit(1)
+	}
 
 	if *procs > runtime.GOMAXPROCS(0) {
 		fmt.Fprintf(os.Stderr, "barbench: note: %d participants > GOMAXPROCS=%d; spin barriers will thrash\n",
@@ -151,8 +168,7 @@ func main() {
 		if isSplit(name) {
 			d, b, err := measureSplit(name, *procs, *episodes, *work, *region)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "barbench: %v\n", err)
-				os.Exit(1)
+				die(err)
 			}
 			var hotspotPerPhase *float64
 			if prof, ok := b.(core.ArriveProfiler); ok {
@@ -190,8 +206,7 @@ func main() {
 		}
 		d, err := measurePoint(name, *procs, *episodes)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "barbench: %v\n", err)
-			os.Exit(1)
+			die(err)
 		}
 		if *jsonOut {
 			records = append(records, record{
@@ -203,12 +218,42 @@ func main() {
 		fmt.Printf("%-16s procs=%-3d episodes=%-8d total=%-12v per-episode=%v\n",
 			name, *procs, *episodes, d, d/time.Duration(*episodes))
 	}
+	var combined *combinedOutput
+	if *sim {
+		ff, err := measureFastForward(8, 200, 3)
+		if err != nil {
+			die(err)
+		}
+		sw, err := measureSweep(2)
+		if err != nil {
+			die(err)
+		}
+		if *jsonOut {
+			combined = &combinedOutput{Barbench: records, MachineFastForward: ff, SweepParallel: sw}
+		} else {
+			fmt.Printf("%-22s before=%-12v after=%-12v speedup=%.1fx\n",
+				"machine-fast-forward", time.Duration(ff.BeforeNs), time.Duration(ff.AfterNs), ff.Speedup)
+			fmt.Printf("%-22s before=%-12v after=%-12v speedup=%.1fx (maxprocs=%d)\n",
+				"sweep-parallel(E15)", time.Duration(sw.BeforeNs), time.Duration(sw.AfterNs), sw.Speedup, sw.MaxProcs)
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(records); err != nil {
-			fmt.Fprintf(os.Stderr, "barbench: %v\n", err)
-			os.Exit(1)
+		// Without -sim the output stays a plain array, the stable
+		// machine-readable format; -sim wraps it in one object.
+		var err error
+		if combined != nil {
+			err = enc.Encode(combined)
+		} else {
+			err = enc.Encode(records)
 		}
+		if err != nil {
+			die(err)
+		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "barbench: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"runtime"
+	"time"
+
+	"fuzzybarrier/internal/exp"
+	"fuzzybarrier/internal/machine"
+	"fuzzybarrier/internal/mem"
+	"fuzzybarrier/internal/workload"
+)
+
+// simReport is the -sim measurement pair: the same workload before and
+// after a perf mechanism, with the wall-clock ratio. Simulated results
+// are bit-identical in both columns; only the time differs.
+type simReport struct {
+	BeforeNs int64   `json:"before_ns"`
+	AfterNs  int64   `json:"after_ns"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// ffReport measures the machine fast-forward engine (before = naive
+// per-cycle stepping, after = fast-forward) on a stall-heavy drift
+// workload.
+type ffReport struct {
+	Procs int `json:"procs"`
+	Iters int `json:"iters"`
+	Reps  int `json:"reps"`
+	simReport
+}
+
+// sweepReport measures the experiment sweep pool on the full E15 grid
+// (before = 1 worker, after = 4). Wall-clock gain requires cores:
+// MaxProcs records what the host offered, so a ~1.0 speedup on a
+// single-core runner is interpretable.
+type sweepReport struct {
+	Cells         int `json:"cells"`
+	WorkersBefore int `json:"workers_before"`
+	WorkersAfter  int `json:"workers_after"`
+	MaxProcs      int `json:"maxprocs"`
+	simReport
+}
+
+// combinedOutput is the -json -sim document: the barbench array plus the
+// simulator perf measurements archived in BENCH_SMOKE.json.
+type combinedOutput struct {
+	Barbench           []record    `json:"barbench"`
+	MachineFastForward ffReport    `json:"machine_fast_forward"`
+	SweepParallel      sweepReport `json:"sweep_parallel"`
+}
+
+// minTime runs fn reps times and returns the fastest wall-clock run.
+func minTime(reps int, fn func() error) (time.Duration, error) {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func speedup(before, after time.Duration) float64 {
+	if after <= 0 {
+		return 0
+	}
+	return float64(before) / float64(after)
+}
+
+// measureFastForward times machine.Run with fast-forward off vs. on.
+func measureFastForward(procs, iters, reps int) (ffReport, error) {
+	progs, err := workload.StallHeavyPrograms(procs, iters, 42)
+	if err != nil {
+		return ffReport{}, err
+	}
+	run := func(disable bool) error {
+		cfg := machine.Config{
+			Procs: procs,
+			Mem: mem.Config{
+				Words: 256, Procs: procs,
+				HitLatency: 1, MissLatency: 1, Modules: procs, ModuleBusy: 1,
+			},
+			DisableFastForward: disable,
+		}
+		m := machine.New(cfg)
+		for p, prog := range progs {
+			if err := m.Load(p, prog); err != nil {
+				return err
+			}
+		}
+		_, err := m.Run()
+		return err
+	}
+	before, err := minTime(reps, func() error { return run(true) })
+	if err != nil {
+		return ffReport{}, err
+	}
+	after, err := minTime(reps, func() error { return run(false) })
+	if err != nil {
+		return ffReport{}, err
+	}
+	return ffReport{
+		Procs: procs, Iters: iters, Reps: reps,
+		simReport: simReport{
+			BeforeNs: before.Nanoseconds(), AfterNs: after.Nanoseconds(),
+			Speedup: speedup(before, after),
+		},
+	}, nil
+}
+
+// measureSweep times the full E15 sweep at 1 worker vs. 4.
+func measureSweep(reps int) (sweepReport, error) {
+	defer exp.SetParallelism(0)
+	run := func(workers int) func() error {
+		return func() error {
+			exp.SetParallelism(workers)
+			_, err := exp.E15ClusterSync()
+			return err
+		}
+	}
+	before, err := minTime(reps, run(1))
+	if err != nil {
+		return sweepReport{}, err
+	}
+	after, err := minTime(reps, run(4))
+	if err != nil {
+		return sweepReport{}, err
+	}
+	return sweepReport{
+		Cells: 54, WorkersBefore: 1, WorkersAfter: 4,
+		MaxProcs: runtime.GOMAXPROCS(0),
+		simReport: simReport{
+			BeforeNs: before.Nanoseconds(), AfterNs: after.Nanoseconds(),
+			Speedup: speedup(before, after),
+		},
+	}, nil
+}

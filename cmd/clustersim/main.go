@@ -25,6 +25,8 @@
 //	-straggle N     extra work ticks for the straggler (default 0 = off)
 //	-arity K        combining-tree fanout (default 2)
 //	-seed S         RNG seed; same seed => byte-identical run (default 1)
+//	-seeds K        replay K consecutive seeds S..S+K-1 per protocol (default 1)
+//	-parallel N     workers for the (protocol, seed) sweep; 0 = GOMAXPROCS
 //	-log            print the full message-level event log
 //	-trace-out FILE write a Chrome trace-event JSON (chrome://tracing, Perfetto)
 //
@@ -36,8 +38,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fuzzybarrier/internal/cluster"
+	"fuzzybarrier/internal/sweep"
 	"fuzzybarrier/internal/trace"
 )
 
@@ -56,6 +60,8 @@ func main() {
 	straggle := flag.Int64("straggle", 0, "extra work ticks for the straggler (0 = off)")
 	arity := flag.Int("arity", 2, "combining-tree fanout")
 	seed := flag.Uint64("seed", 1, "RNG seed; same seed => byte-identical run")
+	seeds := flag.Int("seeds", 1, "replay this many consecutive seeds per protocol")
+	parallel := flag.Int("parallel", 0, "workers for the (protocol, seed) sweep; 0 = GOMAXPROCS")
 	logEvents := flag.Bool("log", false, "print the message-level event log")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file")
 	flag.Parse()
@@ -64,12 +70,27 @@ func main() {
 	if *proto != "" {
 		protos = []string{*proto}
 	}
-	if *traceOut != "" && len(protos) != 1 {
-		fatal(fmt.Errorf("-trace-out wants a single -proto, got %d protocols", len(protos)))
+	if *seeds < 1 {
+		fatal(fmt.Errorf("-seeds wants a positive count, got %d", *seeds))
+	}
+	if *traceOut != "" && (len(protos) != 1 || *seeds != 1) {
+		fatal(fmt.Errorf("-trace-out wants a single -proto and -seeds 1, got %d protocols x %d seeds", len(protos), *seeds))
+	}
+	if *logEvents && *seeds != 1 {
+		fatal(fmt.Errorf("-log wants -seeds 1, got %d seeds", *seeds))
 	}
 
-	exit := 0
-	for _, p := range protos {
+	// Each (protocol, seed) cell is an independent replay. Cells run on
+	// the sweep worker pool; output is buffered per cell and printed in
+	// index order, so the transcript is identical at any -parallel.
+	type cellOut struct {
+		text   string
+		failed bool
+	}
+	nCells := len(protos) * *seeds
+	cells, err := sweep.Run(sweep.Workers(*parallel), nCells, func(i int) (cellOut, error) {
+		p := protos[i / *seeds]
+		s := *seed + uint64(i%*seeds)
 		var rec *trace.Recorder
 		if *traceOut != "" {
 			rec = trace.NewRecorder(*nodes)
@@ -87,40 +108,57 @@ func main() {
 				DropRate: *drop, DupRate: *dup,
 			},
 			TreeArity: *arity,
-			Seed:      *seed,
+			Seed:      s,
 			LogEvents: *logEvents,
 			Recorder:  rec,
 		})
 		if err != nil {
-			fatal(err)
+			return cellOut{}, err
 		}
 		res, runErr := sim.Run()
+		var b strings.Builder
 		if *logEvents {
 			for _, line := range sim.EventLog() {
-				fmt.Println(line)
+				fmt.Fprintln(&b, line)
 			}
 		}
-		fmt.Println(res)
-		for n, s := range res.PerNodeStall {
-			fmt.Printf("  node %-3d stall=%-8d (%.1f/epoch)\n", n, s, float64(s)/maxF(1, float64(res.Epochs)))
+		if *seeds > 1 {
+			fmt.Fprintf(&b, "seed %d:\n", s)
 		}
+		fmt.Fprintln(&b, res)
+		for n, st := range res.PerNodeStall {
+			fmt.Fprintf(&b, "  node %-3d stall=%-8d (%.1f/epoch)\n", n, st, float64(st)/maxF(1, float64(res.Epochs)))
+		}
+		out := cellOut{text: b.String()}
 		if runErr != nil {
 			fmt.Fprintf(os.Stderr, "clustersim: %v\n", runErr)
-			exit = 1
+			out.failed = true
 		}
 		if rec != nil {
 			f, err := os.Create(*traceOut)
 			if err != nil {
-				fatal(err)
+				return cellOut{}, err
 			}
 			if err := rec.WriteChrome(f); err != nil {
 				f.Close()
-				fatal(err)
+				return cellOut{}, err
 			}
 			if err := f.Close(); err != nil {
-				fatal(err)
+				return cellOut{}, err
 			}
-			fmt.Printf("chrome trace: %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+			fmt.Fprintf(&b, "chrome trace: %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
+			out.text = b.String()
+		}
+		return out, nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	exit := 0
+	for _, c := range cells {
+		fmt.Print(c.text)
+		if c.failed {
+			exit = 1
 		}
 	}
 	os.Exit(exit)

@@ -9,6 +9,7 @@
 //	experiments -csv             # emit CSV instead of fixed-width tables
 //	experiments -out DIR         # also write one .txt and .csv per experiment
 //	experiments -trace-out FILE  # write a Chrome trace of the drift workload
+//	experiments -parallel N      # sweep-cell workers (0 = GOMAXPROCS)
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"strings"
 
 	"fuzzybarrier/internal/exp"
+	"fuzzybarrier/internal/prof"
 )
 
 func main() {
@@ -27,16 +29,30 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV")
 	outDir := flag.String("out", "", "also write per-experiment .txt and .csv files to this directory")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the E14 drift workload")
+	parallel := flag.Int("parallel", 0, "workers for independent sweep cells; 0 = GOMAXPROCS, 1 = serial (tables are identical either way)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	exp.SetParallelism(*parallel)
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	exit := func(code int) {
+		stopProf()
+		os.Exit(code)
+	}
 
 	if *traceOut != "" {
 		if err := writeShowcaseTrace(*traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Printf("chrome trace: %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
 		if *id == "" && !*list {
-			return
+			exit(0)
 		}
 	}
 
@@ -44,7 +60,7 @@ func main() {
 		for _, e := range exp.All() {
 			fmt.Printf("%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		exit(0)
 	}
 
 	run := exp.All()
@@ -52,7 +68,7 @@ func main() {
 		e, ok := exp.ByID(strings.ToUpper(*id))
 		if !ok {
 			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (known: %s)\n", *id, strings.Join(exp.IDs(), " "))
-			os.Exit(2)
+			exit(2)
 		}
 		run = []exp.Experiment{e}
 	}
@@ -73,20 +89,24 @@ func main() {
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			base := fmt.Sprintf("%s/%s", *outDir, strings.ToLower(e.ID))
 			if err := os.WriteFile(base+".txt", []byte(tbl.String()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 			if err := os.WriteFile(base+".csv", []byte(tbl.CSV()), 0o644); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-				os.Exit(1)
+				exit(1)
 			}
 		}
 	}
 	if failed > 0 {
+		exit(1)
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
 }

@@ -119,6 +119,15 @@ func (u *Unit) NoteBarrierInstr() { u.regionLens++ }
 // NoteStallCycle records one stalled cycle (statistics only).
 func (u *Unit) NoteStallCycle() { u.stallCycles++ }
 
+// NoteStallCycles records n stalled cycles at once — the bulk form used
+// by the simulator's fast-forward path, equivalent to n NoteStallCycle
+// calls.
+func (u *Unit) NoteStallCycles(n int64) {
+	if n > 0 {
+		u.stallCycles += n
+	}
+}
+
 // TryCross asks whether the processor may execute a non-barrier
 // instruction now. In non-barrier state the answer is trivially yes. If
 // the unit has synchronized, crossing succeeds and the state machine
@@ -190,18 +199,28 @@ func (n *Network) Unit(i int) *Unit { return n.units[i] }
 // evaluated for all units against the same snapshot before any state
 // changes, mirroring simultaneous hardware detection.
 func (n *Network) Step() {
-	var fire []*Unit
+	n.StepCollect(nil)
+}
+
+// StepCollect is Step with an allocation-free result: the ids of the
+// units that transitioned to StateSynced this step are appended to fired
+// (usually a reused buffer sliced to length zero) and returned. The
+// cycle-level simulator uses this on its hot path instead of
+// snapshotting every unit's state before and after Step.
+func (n *Network) StepCollect(fired []int) []int {
+	start := len(fired)
 	for _, u := range n.units {
 		if !u.ready || (u.state != StateInBarrier && u.state != StateStalled) {
 			continue
 		}
 		if n.conditionHolds(u) {
-			fire = append(fire, u)
+			fired = append(fired, u.id)
 		}
 	}
-	for _, u := range fire {
-		u.setSynced()
+	for _, id := range fired[start:] {
+		n.units[id].setSynced()
 	}
+	return fired
 }
 
 func (n *Network) conditionHolds(u *Unit) bool {

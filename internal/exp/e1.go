@@ -38,8 +38,17 @@ func E1SyncCostVsRegionSize() (*trace.Table, error) {
 	// ideal is synchronization overhead: stall time plus the wait for the
 	// slowest processor's drift.
 	const ideal = e1Body + 2
-	for _, region := range []int64{0, 20, 40, 60, 80, 100} {
-		stall, cyc := e1Run(region)
+	regions := []int64{0, 20, 40, 60, 80, 100}
+	type e1Cell struct{ stall, cyc float64 }
+	cells, err := sweepRun(len(regions), func(i int) (e1Cell, error) {
+		stall, cyc := e1Run(regions[i])
+		return e1Cell{stall, cyc}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, region := range regions {
+		stall, cyc := cells[i].stall, cells[i].cyc
 		overhead := cyc - ideal
 		if overhead < 0 {
 			overhead = 0

@@ -26,24 +26,39 @@ func E10StallProbability() (*trace.Table, error) {
 		"region", "stall/iter (avg over seeds)", "max stall/iter", "cycles/iter",
 	)
 	var series stats.Series
-	for _, region := range []int64{0, 10, 20, 30, 40, 50, 60, 80} {
+	regions := []int64{0, 10, 20, 30, 40, 50, 60, 80}
+	type e10Cell struct{ stall, cyc float64 }
+	// Flatten the (region, seed) grid into independent sweep cells.
+	cells, err := sweepRun(len(regions)*seeds, func(i int) (e10Cell, error) {
+		region := regions[i/seeds]
+		seed := i % seeds
+		progs := make([]*isa.Program, procs)
+		for p := 0; p < procs; p++ {
+			rng := workload.NewRNG(uint64(seed*1000+p*17) + 3)
+			progs[p] = must(workload.SyncLoop{
+				Self: p, Procs: procs,
+				Work:   workload.DriftWork(rng, iters, base, jitter),
+				Region: region,
+			}.Program())
+		}
+		_, res, err := runPrograms(machine.Config{Mem: simpleMem(procs, 256)}, progs)
+		if err != nil {
+			return e10Cell{}, err
+		}
+		return e10Cell{
+			stall: perIter(res.TotalStalls()/procs, iters),
+			cyc:   perIter(res.Cycles, iters),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ri, region := range regions {
 		var stallSamples, cycSamples []float64
 		for seed := 0; seed < seeds; seed++ {
-			progs := make([]*isa.Program, procs)
-			for p := 0; p < procs; p++ {
-				rng := workload.NewRNG(uint64(seed*1000+p*17) + 3)
-				progs[p] = must(workload.SyncLoop{
-					Self: p, Procs: procs,
-					Work:   workload.DriftWork(rng, iters, base, jitter),
-					Region: region,
-				}.Program())
-			}
-			_, res, err := runPrograms(machine.Config{Mem: simpleMem(procs, 256)}, progs)
-			if err != nil {
-				return nil, err
-			}
-			stallSamples = append(stallSamples, perIter(res.TotalStalls()/procs, iters))
-			cycSamples = append(cycSamples, perIter(res.Cycles, iters))
+			c := cells[ri*seeds+seed]
+			stallSamples = append(stallSamples, c.stall)
+			cycSamples = append(cycSamples, c.cyc)
 		}
 		s := stats.Summarize(stallSamples)
 		c := stats.Mean(cycSamples)

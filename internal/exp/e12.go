@@ -35,36 +35,47 @@ func E12InterruptTolerance() (*trace.Table, error) {
 		"E12 (extension): interrupts in barrier regions (Section 9 future work)",
 		"interrupt every N instrs", "region", "stalls/iter", "irq-cycles/iter", "cycles/iter",
 	)
-	for _, every := range []int64{0, 40, 15} {
-		for _, region := range []int64{0, 30} {
-			progs := make([]*isa.Program, procs)
-			for p := 0; p < procs; p++ {
-				progs[p] = must(workload.SyncLoop{
-					Self: p, Procs: procs,
-					Work: workload.UniformWork(iters, body-region), Region: region,
-				}.Program())
-			}
-			_, res, err := runPrograms(machine.Config{
-				Mem:            simpleMem(procs, 256),
-				InterruptEvery: every,
-				InterruptCost:  irqCost,
-			}, progs)
-			if err != nil {
-				return nil, err
-			}
-			var irq int64
-			for _, ps := range res.Procs {
-				irq += ps.IrqCycles
-			}
-			label := "never"
-			if every > 0 {
-				label = strconv.FormatInt(every, 10)
-			}
-			t.AddRow(label, region,
-				perIter(res.TotalStalls()/procs, iters),
-				perIter(irq/procs, iters),
-				perIter(res.Cycles, iters))
+	everies := []int64{0, 40, 15}
+	regions := []int64{0, 30}
+	type e12Cell struct{ stall, irq, cyc float64 }
+	cells, err := sweepRun(len(everies)*len(regions), func(i int) (e12Cell, error) {
+		every := everies[i/len(regions)]
+		region := regions[i%len(regions)]
+		progs := make([]*isa.Program, procs)
+		for p := 0; p < procs; p++ {
+			progs[p] = must(workload.SyncLoop{
+				Self: p, Procs: procs,
+				Work: workload.UniformWork(iters, body-region), Region: region,
+			}.Program())
 		}
+		_, res, err := runPrograms(machine.Config{
+			Mem:            simpleMem(procs, 256),
+			InterruptEvery: every,
+			InterruptCost:  irqCost,
+		}, progs)
+		if err != nil {
+			return e12Cell{}, err
+		}
+		var irq int64
+		for _, ps := range res.Procs {
+			irq += ps.IrqCycles
+		}
+		return e12Cell{
+			stall: perIter(res.TotalStalls()/procs, iters),
+			irq:   perIter(irq/procs, iters),
+			cyc:   perIter(res.Cycles, iters),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		every := everies[i/len(regions)]
+		label := "never"
+		if every > 0 {
+			label = strconv.FormatInt(every, 10)
+		}
+		t.AddRow(label, regions[i%len(regions)], c.stall, c.irq, c.cyc)
 	}
 	t.AddNote("interrupts behave as drift: with a region comparable to the interrupt cost, stall time stays near the interrupt-free level")
 	return t, nil

@@ -41,18 +41,32 @@ func E13ProcedureCalls() (*trace.Table, error) {
 		"E13 (extension): procedure calls from barrier regions (Section 9 future work)",
 		"callee compiled as", "syncs", "stalls/iter", "cycles/iter",
 	)
-	for _, variant := range []string{"barrier code", "ordinary code", "two versions"} {
+	variants := []string{"barrier code", "ordinary code", "two versions"}
+	type e13Cell struct {
+		syncs        int64
+		stalls, cycs float64
+	}
+	cells, err := sweepRun(len(variants), func(i int) (e13Cell, error) {
+		variant := variants[i]
 		progs := make([]*isa.Program, procs)
 		for p := 0; p < procs; p++ {
 			progs[p] = e13Program(p, procs, iters, variant)
 		}
 		_, res, err := runPrograms(machine.Config{Mem: simpleMem(procs, 256)}, progs)
 		if err != nil {
-			return nil, err
+			return e13Cell{}, err
 		}
-		t.AddRow(variant, res.Syncs(),
-			perIter(res.TotalStalls()/procs, iters),
-			perIter(res.Cycles, iters))
+		return e13Cell{
+			syncs:  res.Syncs(),
+			stalls: perIter(res.TotalStalls()/procs, iters),
+			cycs:   perIter(res.Cycles, iters),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		t.AddRow(variants[i], c.syncs, c.stalls, c.cycs)
 	}
 	t.AddNote("ordinary-code callees split the region (2x syncs, more stalls); compiling a barrier version of the procedure — the Figure 12 multi-version technique — restores full tolerance")
 	return t, nil

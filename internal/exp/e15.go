@@ -48,14 +48,29 @@ func E15ClusterSync() (*trace.Table, error) {
 		fmt.Sprintf("E15: cluster sync cost vs. barrier-region size (%d nodes, message passing)", e15Nodes),
 		"protocol", "network", "region(ticks)", "region(%body)", "stall/epoch", "msgs/epoch", "retrans/epoch",
 	)
-	for _, proto := range cluster.Protocols() {
+	protos := cluster.Protocols()
+	nR := len(e15Regions)
+	// Flatten the (protocol, network, region) grid into one sweep;
+	// each cell keeps its original e15Seed(ni, ri), so the table is
+	// bit-identical at any parallelism.
+	cells, err := sweepRun(len(protos)*len(e15Nets)*nR, func(i int) (*cluster.Result, error) {
+		proto := protos[i/(len(e15Nets)*nR)]
+		ni := (i / nR) % len(e15Nets)
+		ri := i % nR
+		res, err := e15Run(proto, e15Nets[ni].net, e15Regions[ri], e15Seed(ni, ri))
+		if err != nil {
+			return nil, fmt.Errorf("E15 %s/%s/region=%d: %w", proto, e15Nets[ni].label, e15Regions[ri], err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, proto := range protos {
 		for ni, nc := range e15Nets {
 			var series stats.Series
 			for ri, region := range e15Regions {
-				res, err := e15Run(proto, nc.net, region, e15Seed(ni, ri))
-				if err != nil {
-					return nil, fmt.Errorf("E15 %s/%s/region=%d: %w", proto, nc.label, region, err)
-				}
+				res := cells[(pi*len(e15Nets)+ni)*nR+ri]
 				stall := res.StallPerEpoch()
 				t.AddRow(proto, nc.label, region, 100*region/e15Body,
 					stall, res.MsgsPerEpoch(), res.RetransmitsPerEpoch())

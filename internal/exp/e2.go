@@ -27,55 +27,57 @@ func E2BarrierScaling() (*trace.Table, error) {
 		"E2: barrier cost scaling — counter vs. dissemination vs. fuzzy hardware",
 		"procs", "impl", "cycles/episode", "instrs/episode", "mem-accesses/episode", "hotspot-max",
 	)
-	run := func(procs int, name string, progs []*isa.Program) error {
+	procCounts := []int{2, 4, 8, 16}
+	impls := []string{"central-sw", "dissem-sw", "fuzzy-hw"}
+	type e2Cell struct {
+		cycles, instrs, mem float64
+		hotspot             int64
+	}
+	// One sweep cell per (procs, impl) point; each builds its own
+	// programs and machine, so the cells are independent.
+	cells, err := sweepRun(len(procCounts)*len(impls), func(i int) (e2Cell, error) {
+		procs := procCounts[i/len(impls)]
+		impl := impls[i%len(impls)]
+		progs := make([]*isa.Program, procs)
+		for p := 0; p < procs; p++ {
+			switch impl {
+			case "central-sw":
+				progs[p] = must(workload.CentralBarrierLoop{
+					Self: p, Procs: procs, Work: workload.BarrierOnlyWork(episodes),
+				}.Program())
+			case "dissem-sw":
+				progs[p] = must(workload.DisseminationBarrierLoop{
+					Self: p, Procs: procs, Work: workload.BarrierOnlyWork(episodes),
+				}.Program())
+			case "fuzzy-hw":
+				progs[p] = must(workload.SyncLoop{
+					Self: p, Procs: procs,
+					Work: workload.UniformWork(episodes, 0), Region: 0,
+				}.Program())
+			}
+		}
 		memCfg := simpleMem(procs, 1024)
 		memCfg.ModuleBusy = 2
 		m, res, err := runPrograms(machine.Config{Mem: memCfg}, progs)
 		if err != nil {
-			return err
+			return e2Cell{}, err
 		}
 		var instrs int64
 		for _, ps := range res.Procs {
 			instrs += ps.Instructions
 		}
-		t.AddRow(procs, name,
-			perIter(res.Cycles, episodes),
-			perIter(instrs/int64(procs), episodes),
-			perIter(res.Mem.Accesses/int64(procs), episodes),
-			m.Mem().MaxAddrCount())
-		return nil
+		return e2Cell{
+			cycles:  perIter(res.Cycles, episodes),
+			instrs:  perIter(instrs/int64(procs), episodes),
+			mem:     perIter(res.Mem.Accesses/int64(procs), episodes),
+			hotspot: m.Mem().MaxAddrCount(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, procs := range []int{2, 4, 8, 16} {
-		progs := make([]*isa.Program, procs)
-		for p := 0; p < procs; p++ {
-			progs[p] = must(workload.CentralBarrierLoop{
-				Self: p, Procs: procs, Work: workload.BarrierOnlyWork(episodes),
-			}.Program())
-		}
-		if err := run(procs, "central-sw", progs); err != nil {
-			return nil, err
-		}
-
-		progs = make([]*isa.Program, procs)
-		for p := 0; p < procs; p++ {
-			progs[p] = must(workload.DisseminationBarrierLoop{
-				Self: p, Procs: procs, Work: workload.BarrierOnlyWork(episodes),
-			}.Program())
-		}
-		if err := run(procs, "dissem-sw", progs); err != nil {
-			return nil, err
-		}
-
-		progs = make([]*isa.Program, procs)
-		for p := 0; p < procs; p++ {
-			progs[p] = must(workload.SyncLoop{
-				Self: p, Procs: procs,
-				Work: workload.UniformWork(episodes, 0), Region: 0,
-			}.Program())
-		}
-		if err := run(procs, "fuzzy-hw", progs); err != nil {
-			return nil, err
-		}
+	for i, c := range cells {
+		t.AddRow(procCounts[i/len(impls)], impls[i%len(impls)], c.cycles, c.instrs, c.mem, c.hotspot)
 	}
 	t.AddNote("central-sw grows linearly with P (hot-spot serialization); dissem-sw grows ~logarithmically; fuzzy-hw stays constant with zero memory traffic")
 	t.AddNote("runtime (goroutine) forms of all five baselines are in bench_test.go BenchmarkE2Barriers")

@@ -12,12 +12,35 @@ package exp
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"fuzzybarrier/internal/isa"
 	"fuzzybarrier/internal/machine"
 	"fuzzybarrier/internal/mem"
+	"fuzzybarrier/internal/sweep"
 	"fuzzybarrier/internal/trace"
 )
+
+// parallelism is the worker count for sweep cells; <= 0 means
+// GOMAXPROCS. It is process-global because experiments are invoked
+// through nullary Run functions (one per table); the CLI sets it once
+// from -parallel before running anything.
+var parallelism atomic.Int64
+
+// SetParallelism sets the number of workers used to execute independent
+// sweep cells inside experiments; n <= 0 restores the default
+// (GOMAXPROCS). Cell aggregation is index-ordered, so every table is
+// byte-identical no matter the setting — see internal/sweep.
+func SetParallelism(n int) { parallelism.Store(int64(n)) }
+
+// Parallelism returns the effective sweep worker count.
+func Parallelism() int { return sweep.Workers(int(parallelism.Load())) }
+
+// sweepRun executes n independent experiment cells on the configured
+// worker pool, returning results in index order.
+func sweepRun[T any](n int, fn func(i int) (T, error)) ([]T, error) {
+	return sweep.Run(Parallelism(), n, fn)
+}
 
 // Experiment identifies one reproducible table/figure.
 type Experiment struct {

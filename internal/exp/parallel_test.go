@@ -1,0 +1,41 @@
+package exp
+
+import "testing"
+
+// TestParallelDeterminism checks the sweep-engine contract at the table
+// level: every experiment renders byte-identically whether its cells run
+// serially or on a worker pool. The sweep-heavy experiments (E1, E2,
+// E10, E12, E13, E15) are the interesting ones, but running the whole
+// suite is cheap and also guards future refactors.
+func TestParallelDeterminism(t *testing.T) {
+	defer SetParallelism(0)
+	for _, e := range All() {
+		SetParallelism(1)
+		serial, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s (serial): %v", e.ID, err)
+		}
+		SetParallelism(4)
+		pooled, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s (parallel): %v", e.ID, err)
+		}
+		if serial.String() != pooled.String() {
+			t.Errorf("%s: table differs between -parallel 1 and -parallel 4:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				e.ID, serial, pooled)
+		}
+	}
+}
+
+// TestSetParallelism checks the knob plumbing.
+func TestSetParallelism(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if Parallelism() != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", Parallelism())
+	}
+	SetParallelism(0)
+	if Parallelism() < 1 {
+		t.Fatalf("default Parallelism() = %d, want >= 1", Parallelism())
+	}
+}

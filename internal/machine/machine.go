@@ -71,6 +71,11 @@ type Config struct {
 	// hooks follow the same discipline: nil disables them with zero
 	// allocation on the simulation hot path.
 	Phases *trace.Phases
+	// DisableFastForward forces the naive per-cycle simulation loop.
+	// The fast-forward engine (see Run) produces bit-identical results,
+	// statistics, phase attribution and traces; this knob exists for the
+	// equivalence tests and for benchmarking the speedup.
+	DisableFastForward bool
 }
 
 func (c *Config) normalize() {
@@ -119,6 +124,8 @@ const (
 type processor struct {
 	id        int
 	prog      *isa.Program
+	code      []isa.Instr // prog.Code, cached to skip the pointer chase per cycle
+	flags     []instrFlag // predecoded per-instruction metadata (same length as code)
 	pc        int
 	regs      [isa.NumRegs]int64
 	halted    bool
@@ -154,6 +161,9 @@ type Machine struct {
 	net   *core.Network
 	procs []*processor
 	cycle int64
+
+	decodeCache map[*isa.Program][]instrFlag
+	firedBuf    []int // reused by the per-cycle synchronization detection
 }
 
 // New creates a machine.
@@ -188,7 +198,7 @@ func (m *Machine) Load(p int, prog *isa.Program) error {
 		return fmt.Errorf("machine: empty program for processor %d", p)
 	}
 	pr := m.procs[p]
-	*pr = processor{id: p, prog: prog, enterAt: -1}
+	*pr = processor{id: p, prog: prog, code: prog.Code, flags: m.decoded(prog), enterAt: -1}
 	return nil
 }
 
@@ -258,6 +268,17 @@ func (r *Result) Syncs() int64 {
 
 // Run simulates until every loaded processor halts, a deadlock is
 // detected, or the cycle limit is hit. It can be called once per Machine.
+//
+// The loop fast-forwards over uninteresting cycles: when every live
+// processor is either busy until a known cycle (multi-cycle ALU op,
+// memory access, WORK, interrupt) or provably stalled until an external
+// event (a barrier release or a pending pipelined entry), the clock
+// jumps straight to the earliest such deadline, attributing the skipped
+// cycles in bulk. The skip is exact — statistics, phase attribution and
+// recorded traces are bit-identical to the naive per-cycle loop (set
+// Config.DisableFastForward to compare) — because during a skipped span
+// no processor issues an instruction, so no ready line, tag or memory
+// state can change and the barrier network provably cannot fire.
 func (m *Machine) Run() (*Result, error) {
 	res := &Result{}
 	rec := m.cfg.Recorder
@@ -265,6 +286,13 @@ func (m *Machine) Run() (*Result, error) {
 		if m.cycle >= m.cfg.MaxCycles {
 			m.finish(res)
 			return res, fmt.Errorf("%w: %d cycles", ErrMaxCycles, m.cfg.MaxCycles)
+		}
+		if !m.cfg.DisableFastForward {
+			m.fastForward()
+			if m.cycle >= m.cfg.MaxCycles {
+				m.finish(res)
+				return res, fmt.Errorf("%w: %d cycles", ErrMaxCycles, m.cfg.MaxCycles)
+			}
 		}
 		progress := false
 		allHalted := true
@@ -295,21 +323,18 @@ func (m *Machine) Run() (*Result, error) {
 			progress = true
 		}
 		// Simultaneous synchronization detection.
-		before := m.snapshotStates()
-		m.net.Step()
-		for i, st := range m.snapshotStates() {
-			if st == core.StateSynced && before[i] != core.StateSynced {
-				progress = true
-				if rec.Enabled() {
-					rec.Mark(m.cycle, i, trace.KindSync)
-					rec.Eventf(m.cycle, i, "synchronized (tag=%d, epoch=%d)", m.net.Unit(i).Tag(), m.net.Unit(i).Syncs())
-				}
-				// One barrier episode ends for processor i: cycles
-				// accounted from here on belong to the next phase. (The
-				// KindSync lane mark above is presentation-only — the
-				// cycle's activity was already attributed by step.)
-				m.cfg.Phases.Advance(i)
+		m.firedBuf = m.net.StepCollect(m.firedBuf[:0])
+		for _, i := range m.firedBuf {
+			progress = true
+			if rec.Enabled() {
+				rec.Mark(m.cycle, i, trace.KindSync)
+				rec.Eventf(m.cycle, i, "synchronized (tag=%d, epoch=%d)", m.net.Unit(i).Tag(), m.net.Unit(i).Syncs())
 			}
+			// One barrier episode ends for processor i: cycles
+			// accounted from here on belong to the next phase. (The
+			// KindSync lane mark above is presentation-only — the
+			// cycle's activity was already attributed by step.)
+			m.cfg.Phases.Advance(i)
 		}
 		if !progress {
 			m.finish(res)
@@ -320,12 +345,118 @@ func (m *Machine) Run() (*Result, error) {
 	}
 }
 
-func (m *Machine) snapshotStates() []core.State {
-	out := make([]core.State, len(m.procs))
-	for i := range m.procs {
-		out[i] = m.net.Unit(i).State()
+// fastForward advances the clock to the next interesting cycle when the
+// current one (and every one up to it) is provably uneventful, doing the
+// per-cycle accounting of the skipped span in bulk. It leaves the clock
+// unchanged unless *every* live processor is busy or boringly stalled.
+//
+// An "interesting" cycle is one at which some processor can issue an
+// instruction or a pending pipelined barrier entry fires: the minimum
+// over all busy-until deadlines and pending enterAt times. Cycles
+// strictly before it are uniform — busy processors keep burning their
+// latency, stalled processors keep stalling (their release requires a
+// partner's ready line to rise, which only instruction issue or a
+// pending entry can cause) and the barrier network's inputs are frozen,
+// so Network.Step is a no-op for the whole span. If no deadline exists
+// (every processor stalled forever) nothing is skipped and the naive
+// loop's deadlock detection runs unchanged.
+func (m *Machine) fastForward() {
+	next := int64(-1)
+	for _, p := range m.procs {
+		var deadline int64 = -1
+		if p.enterAt >= 0 {
+			// A pending pipelined entry raises a ready line at enterAt
+			// even if its processor has since halted.
+			deadline = p.enterAt
+		}
+		if !p.halted {
+			if p.busyTil > m.cycle {
+				if deadline < 0 || p.busyTil < deadline {
+					deadline = p.busyTil
+				}
+			} else if !m.boringStall(p) {
+				// The processor issues an instruction this cycle (or
+				// faults): the present is already interesting.
+				return
+			}
+		}
+		if deadline >= 0 && (next < 0 || deadline < next) {
+			next = deadline
+		}
 	}
-	return out
+	if next <= m.cycle {
+		// No future event (deadlock — leave it to the naive loop) or the
+		// event is due this very cycle.
+		return
+	}
+	if next > m.cfg.MaxCycles {
+		next = m.cfg.MaxCycles
+	}
+	n := next - m.cycle
+	if n <= 0 {
+		return
+	}
+	for _, p := range m.procs {
+		if p.halted {
+			continue
+		}
+		if p.busyTil > m.cycle {
+			switch p.busy {
+			case busyMem:
+				p.stats.MemCycles += n
+				m.markN(p.id, trace.KindMemory, n)
+			case busyWork:
+				p.stats.WorkCycles += n
+				m.markN(p.id, trace.KindWork, n)
+			case busyIrq:
+				p.stats.IrqCycles += n
+				m.markN(p.id, trace.KindInterrupt, n)
+			default:
+				m.markN(p.id, trace.KindExec, n)
+			}
+		} else {
+			m.net.Unit(p.id).NoteStallCycles(n)
+			p.stats.StallCycles += n
+			m.markN(p.id, trace.KindStall, n)
+		}
+	}
+	m.cycle = next
+}
+
+// boringStall reports whether processor p (live, not busy) is certain to
+// spend this cycle — and every following cycle until some other event —
+// stalled at a barrier-region boundary. True only when the pending
+// instruction is non-barrier and either the pipelined ready line has not
+// risen yet (enterAt pending) or the barrier unit is already waiting for
+// a synchronization that only a partner's future instruction issue can
+// complete. Anything else (a fault, an issueable instruction, a
+// just-synced unit about to cross) makes the cycle interesting.
+func (m *Machine) boringStall(p *processor) bool {
+	if p.pc < 0 || p.pc >= len(p.code) {
+		return false
+	}
+	if m.instrInBarrier(p, p.pc) {
+		return false
+	}
+	if p.enterAt >= 0 {
+		return true
+	}
+	switch m.net.Unit(p.id).State() {
+	case core.StateInBarrier, core.StateStalled:
+		// TryCross would fail: the network evaluated this unit against
+		// the current ready lines at the end of the previous cycle and
+		// did not fire it, and those lines cannot change while every
+		// processor is busy or stalled.
+		return true
+	}
+	return false
+}
+
+// markN is the bulk form of mark: it attributes the n cycles starting at
+// the current one to activity kind k for processor p.
+func (m *Machine) markN(p int, k trace.Kind, n int64) {
+	m.cfg.Recorder.MarkN(m.cycle, n, p, k)
+	m.cfg.Phases.AccountN(p, k, n)
 }
 
 func (m *Machine) deadlockInfo() string {
@@ -386,13 +517,13 @@ func (m *Machine) step(p *processor) bool {
 	}
 	p.busy = busyNone
 
-	if p.pc < 0 || p.pc >= p.prog.Len() {
-		p.fault = fmt.Errorf("machine: pc %d out of range [0,%d)", p.pc, p.prog.Len())
+	if p.pc < 0 || p.pc >= len(p.code) {
+		p.fault = fmt.Errorf("machine: pc %d out of range [0,%d)", p.pc, len(p.code))
 		m.halt(p)
 		return true
 	}
-	in := p.prog.Code[p.pc]
-	inBarrier := m.instrInBarrier(p, in)
+	in := p.code[p.pc]
+	inBarrier := m.instrInBarrier(p, p.pc)
 
 	if inBarrier {
 		if u.State() == core.StateNonBarrier {
@@ -438,11 +569,11 @@ func (m *Machine) step(p *processor) bool {
 		if p.halted || p.busy != busyNone || p.busyTil > m.cycle+1 {
 			break
 		}
-		if p.pc < 0 || p.pc >= p.prog.Len() {
+		if p.pc < 0 || p.pc >= len(p.code) {
 			break
 		}
-		next := p.prog.Code[p.pc]
-		if !bundleable(next) || m.instrInBarrier(p, next) != inBarrier {
+		next := p.code[p.pc]
+		if p.flags[p.pc]&flagBundleable == 0 || m.instrInBarrier(p, p.pc) != inBarrier {
 			break
 		}
 		if inBarrier {
@@ -452,18 +583,6 @@ func (m *Machine) step(p *processor) bool {
 		m.maybeInterrupt(p)
 	}
 	return true
-}
-
-// bundleable reports whether an instruction may share an issue cycle with
-// its predecessor in VLIW mode: only single-cycle register-to-register
-// work qualifies.
-func bundleable(in isa.Instr) bool {
-	switch in.Op {
-	case isa.NOP, isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
-		isa.SHL, isa.SHR, isa.SLT, isa.LDI, isa.MOV, isa.ADDI, isa.SUBI:
-		return true
-	}
-	return false
 }
 
 // maybeInterrupt injects the deterministic preemption configured by
@@ -486,21 +605,16 @@ func (m *Machine) maybeInterrupt(p *processor) {
 	}
 }
 
-// instrInBarrier decides region membership of the instruction about to
-// issue, under the program's encoding mode. In marker mode the BENTER
-// instruction itself is the first region instruction and BEXIT the last.
-func (m *Machine) instrInBarrier(p *processor, in isa.Instr) bool {
+// instrInBarrier decides region membership of the instruction at index
+// idx, about to issue, under the program's encoding mode, using the
+// predecoded flags. In marker mode the BENTER instruction itself is the
+// first region instruction and BEXIT the last.
+func (m *Machine) instrInBarrier(p *processor, idx int) bool {
+	f := p.flags[idx]
 	if p.prog.Mode == isa.ModeBit {
-		return in.Barrier
+		return f&flagBarrierBit != 0
 	}
-	switch in.Op {
-	case isa.BENTER:
-		return true
-	case isa.BEXIT:
-		return true
-	default:
-		return p.inBar
-	}
+	return f&flagMarker != 0 || p.inBar
 }
 
 func (m *Machine) halt(p *processor) {

@@ -1,0 +1,55 @@
+package machine
+
+import "fuzzybarrier/internal/isa"
+
+// instrFlag is the per-instruction metadata predecoded at Load time so
+// the per-cycle step/exec hot paths dispatch on a byte instead of
+// re-deriving properties from the instruction word every cycle.
+type instrFlag byte
+
+const (
+	// flagBundleable marks single-cycle register-to-register work that
+	// may share a VLIW issue cycle with its predecessor.
+	flagBundleable instrFlag = 1 << iota
+	// flagBarrierBit caches the bit-mode barrier bit.
+	flagBarrierBit
+	// flagMarker marks the BENTER/BEXIT region markers, which belong to
+	// the barrier region themselves regardless of the processor's
+	// current marker state.
+	flagMarker
+)
+
+// predecode computes the instruction metadata table for one program.
+func predecode(prog *isa.Program) []instrFlag {
+	flags := make([]instrFlag, len(prog.Code))
+	for i, in := range prog.Code {
+		var f instrFlag
+		switch in.Op {
+		case isa.NOP, isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+			isa.SHL, isa.SHR, isa.SLT, isa.LDI, isa.MOV, isa.ADDI, isa.SUBI:
+			f |= flagBundleable
+		case isa.BENTER, isa.BEXIT:
+			f |= flagMarker
+		}
+		if in.Barrier {
+			f |= flagBarrierBit
+		}
+		flags[i] = f
+	}
+	return flags
+}
+
+// decoded returns the (cached) predecode table for prog. Several
+// processors may share one program; the table is immutable, so sharing
+// the slice is safe.
+func (m *Machine) decoded(prog *isa.Program) []instrFlag {
+	if f, ok := m.decodeCache[prog]; ok {
+		return f
+	}
+	f := predecode(prog)
+	if m.decodeCache == nil {
+		m.decodeCache = make(map[*isa.Program][]instrFlag)
+	}
+	m.decodeCache[prog] = f
+	return f
+}

@@ -1,0 +1,56 @@
+// Package prof is the shared pprof plumbing for the CLIs: one call wires
+// the standard -cpuprofile/-memprofile pair, so every command profiles
+// the same way and `go tool pprof` works on the output unchanged.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath and arranges a heap profile at
+// memPath; either path may be empty to skip that profile. The returned
+// stop function flushes and closes the profiles — call it exactly once,
+// on every exit path that should produce output (a deferred call in main
+// does not run under os.Exit).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = fmt.Errorf("prof: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("prof: %w", err)
+				}
+				return firstErr
+			}
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("prof: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("prof: %w", err)
+			}
+		}
+		return firstErr
+	}, nil
+}

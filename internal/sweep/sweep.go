@@ -1,0 +1,100 @@
+// Package sweep is the parallel experiment-sweep engine: a worker pool
+// that executes independent simulation cells — one (configuration, seed)
+// point of a parameter sweep — concurrently, with deterministic,
+// index-ordered aggregation.
+//
+// Every cell is identified by its index in [0, n); the result slice is
+// indexed the same way, so the caller's aggregation (table rows, series
+// for monotonicity checks) is byte-identical no matter how many workers
+// ran or how the scheduler interleaved them. The cells themselves must
+// be independent — each experiment builds its own machine, memory and
+// RNG from an explicit per-cell seed, which is what makes the repo's
+// sweeps deterministic in the first place.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count request: values <= 0 select
+// GOMAXPROCS, everything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run executes fn(i) for every i in [0, n) on up to workers goroutines
+// (Workers-normalized) and returns the results in index order.
+//
+// Error handling is deterministic: if any cells fail, the error of the
+// lowest-index failing cell is returned (never "whichever goroutine lost
+// the race"), alongside the partial result slice. A panicking cell
+// propagates its panic value to the caller after all workers drain, so
+// experiments that use panic-on-programming-error helpers behave the
+// same as in a serial loop.
+func Run[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n <= 0 {
+		return out, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return out, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	errs := make([]error, n)
+	panics := make([]any, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runCell(i, fn, out, errs, panics)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("sweep: cell %d panicked: %v", i, p))
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// runCell executes one cell, converting a panic into a recorded value so
+// the pool drains cleanly before re-panicking in the caller.
+func runCell[T any](i int, fn func(i int) (T, error), out []T, errs []error, panics []any) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics[i] = r
+		}
+	}()
+	out[i], errs[i] = fn(i)
+}

@@ -1,0 +1,92 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := Run(workers, 20, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunZeroCells(t *testing.T) {
+	out, err := Run(4, 0, func(i int) (int, error) { t.Fatal("called"); return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("got (%v, %v), want empty", out, err)
+	}
+}
+
+func TestRunDeterministicError(t *testing.T) {
+	// Whatever the interleaving, the reported error is the
+	// lowest-index failure.
+	errLow := errors.New("cell 3 failed")
+	for trial := 0; trial < 20; trial++ {
+		_, err := Run(8, 16, func(i int) (int, error) {
+			if i == 3 {
+				return 0, errLow
+			}
+			if i >= 10 {
+				return 0, fmt.Errorf("cell %d failed", i)
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("trial %d: err = %v, want cell 3's error", trial, err)
+		}
+	}
+}
+
+func TestRunAllCellsExecute(t *testing.T) {
+	var ran atomic.Int64
+	out, err := Run(4, 100, func(i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 100 || len(out) != 100 {
+		t.Fatalf("ran %d cells, want 100", ran.Load())
+	}
+}
+
+func TestRunPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate")
+		}
+		if s := fmt.Sprint(r); !strings.Contains(s, "cell 5") || !strings.Contains(s, "boom") {
+			t.Fatalf("panic value %q lost the cell context", s)
+		}
+	}()
+	Run(4, 10, func(i int) (int, error) {
+		if i == 5 {
+			panic("boom")
+		}
+		return i, nil
+	})
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-3) != runtime.GOMAXPROCS(0) {
+		t.Error("non-positive should select GOMAXPROCS")
+	}
+	if Workers(7) != 7 {
+		t.Error("positive passes through")
+	}
+}

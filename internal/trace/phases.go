@@ -52,6 +52,27 @@ func (ph *Phases) Account(p int, k Kind) {
 	ph.counts[p] = c
 }
 
+// AccountN attributes n cycles of activity kind k to processor p's
+// current phase — the bulk form of Account used by the simulator's
+// fast-forward path. Calling AccountN(p, k, n) is equivalent to calling
+// Account(p, k) n times.
+func (ph *Phases) AccountN(p int, k Kind, n int64) {
+	if ph == nil || n <= 0 || p < 0 || p >= len(ph.cur) {
+		return
+	}
+	ki := k.Index()
+	if ki < 0 {
+		return
+	}
+	idx := ph.cur[p]*NumKinds + ki
+	c := ph.counts[p]
+	for len(c) <= idx {
+		c = append(c, 0)
+	}
+	c[idx] += n
+	ph.counts[p] = c
+}
+
 // Advance moves processor p to its next phase: call it on the cycle the
 // processor's synchronization fires. Cycles accounted afterwards belong
 // to the next barrier episode.

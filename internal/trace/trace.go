@@ -162,6 +162,35 @@ func (r *Recorder) Mark(cycle int64, p int, k Kind) {
 	}
 }
 
+// MarkN records n consecutive cycles [cycle, cycle+n) of the same
+// activity for processor p — the bulk form of Mark used by the
+// simulator's fast-forward path. It is byte-for-byte equivalent to
+// calling Mark n times with increasing cycle numbers.
+func (r *Recorder) MarkN(cycle int64, n int64, p int, k Kind) {
+	if r == nil || n <= 0 || p < 0 || p >= len(r.lanes) {
+		return
+	}
+	last := cycle + n - 1
+	lane := r.lanes[p]
+	if need := last + 1; int64(len(lane)) < need {
+		if int64(cap(lane)) < need {
+			grown := make([]Kind, len(lane), need)
+			copy(grown, lane)
+			lane = grown
+		}
+		for int64(len(lane)) < need {
+			lane = append(lane, KindIdle)
+		}
+	}
+	for c := cycle; c <= last; c++ {
+		lane[c] = k
+	}
+	r.lanes[p] = lane
+	if last > r.maxCycle {
+		r.maxCycle = last
+	}
+}
+
 // Eventf records a discrete, printf-formatted event of kind EvGeneric.
 func (r *Recorder) Eventf(cycle int64, p int, format string, args ...any) {
 	r.EventKindf(cycle, p, EvGeneric, format, args...)
