@@ -28,21 +28,26 @@ bench:
 	$(GO) test -bench=. -benchmem
 
 # CI-sized benchmark smoke test: one iteration of the n=8 split-scaling
-# points, the allocs/op=0 check on the barrier hot path, the fast-forward
-# and sweep-pool before/after benchmarks, and a machine-readable barbench
-# run (-sim adds the before/after pairs) archived as BENCH_SMOKE.json.
+# points, the allocs/op=0 check on the barrier hot path, the fast-forward,
+# sweep-pool, and cluster-engine before/after benchmarks, and a
+# machine-readable barbench run (-sim adds the before/after pairs)
+# archived as BENCH_SMOKE.json.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'E2SplitScaling/[^/]*/p8/region=0$$' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BarrierHotPathAllocs' -benchtime 100x -benchmem ./internal/core
 	$(GO) test -run '^$$' -bench 'MachineFastForward|SweepParallel' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'ClusterEngine' -benchtime 1x -benchmem .
 	$(GO) run ./cmd/barbench -procs 2 -episodes 5000 -json -sim > BENCH_SMOKE.json
 	@head -c 200 BENCH_SMOKE.json; echo; echo "wrote BENCH_SMOKE.json"
 
-# Perf regression gate: fails if fast-forwarded machine.Run is not
+# Perf regression gates: fail if fast-forwarded machine.Run is not
 # comfortably faster than the naive per-cycle loop on a stall-heavy
-# workload (threshold 1.2x; typical measured ratio is ~10x).
+# workload (threshold 1.2x; typical measured ratio is ~10x), or if the
+# typed-event cluster engine is not >= 3x the closure heap on a lossy
+# 256/1024-node sweep.
 bench-gate:
 	BENCH_GATE=1 $(GO) test -run TestFastForwardSpeedupGate -count=1 -v ./internal/machine
+	BENCH_GATE=1 $(GO) test -run TestClusterEngineSpeedupGate -count=1 -v ./internal/cluster
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

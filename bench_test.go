@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's evaluation, one benchmark per table
-// or figure (DESIGN.md index E1..E15), plus the ablations DESIGN.md calls
+// or figure (DESIGN.md index E1..E16), plus the ablations DESIGN.md calls
 // out. Simulator benchmarks report deterministic counters (cycles, stall
 // cycles) via b.ReportMetric; goroutine benchmarks report wall time — on
 // a time-shared scheduler treat those as orderings, not absolutes.
@@ -390,6 +390,48 @@ func BenchmarkClusterSim(b *testing.B) {
 		stall = res.StallPerEpoch()
 	}
 	b.ReportMetric(stall, "stall-ticks/epoch")
+}
+
+// BenchmarkE16ClusterScaling regenerates the 16..4096-node scaling table.
+func BenchmarkE16ClusterScaling(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkClusterEngine compares the two cluster event engines on one
+// lossy 256-node run — the closure engine (container/heap of *event plus
+// captured closures) against the default typed-event engine (pooled
+// arena, calendar wheel, 4-ary overflow heap). Run with -benchmem: the
+// closure engine allocates per scheduled action, the typed engine's
+// steady state allocates nothing (allocs/op shows only per-run pool
+// warm-up). The bench-gate counterpart is TestClusterEngineSpeedupGate.
+func BenchmarkClusterEngine(b *testing.B) {
+	cfg := cluster.Config{
+		Protocol: "dissemination", Nodes: 256, Epochs: 20,
+		Work: 120, WorkJitter: 40, Region: 30,
+		Net:  cluster.NetConfig{Latency: 12, Jitter: 25, DropRate: 0.2, DupRate: 0.08},
+		Seed: 1234,
+	}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"closure", true}, {"typed", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var ticks int64
+			for i := 0; i < b.N; i++ {
+				c := cfg
+				c.DisableFastEngine = mode.disable
+				sim, err := cluster.New(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ticks = res.Ticks
+			}
+			b.ReportMetric(float64(ticks), "sim-ticks")
+		})
+	}
 }
 
 // ---------------------------------------------------------------------

@@ -138,7 +138,7 @@ func main() {
 	region := flag.Int("region", 0, "per-episode barrier-region work units (split barriers only)")
 	stats := flag.Bool("stats", true, "print the barrier's counter/histogram snapshot (split barriers only)")
 	jsonOut := flag.Bool("json", false, "emit a JSON array of measurements instead of text")
-	sim := flag.Bool("sim", false, "also measure the simulator fast-forward and sweep pool (before/after pairs); with -json the output becomes one combined object")
+	sim := flag.Bool("sim", false, "also measure the simulator fast-forward, sweep pool, and cluster event engine (before/after pairs); with -json the output becomes one combined object")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
@@ -228,13 +228,19 @@ func main() {
 		if err != nil {
 			die(err)
 		}
+		ce, err := measureClusterEngine(256, 20, 3)
+		if err != nil {
+			die(err)
+		}
 		if *jsonOut {
-			combined = &combinedOutput{Barbench: records, MachineFastForward: ff, SweepParallel: sw}
+			combined = &combinedOutput{Barbench: records, MachineFastForward: ff, SweepParallel: sw, ClusterEngine: ce}
 		} else {
 			fmt.Printf("%-22s before=%-12v after=%-12v speedup=%.1fx\n",
 				"machine-fast-forward", time.Duration(ff.BeforeNs), time.Duration(ff.AfterNs), ff.Speedup)
 			fmt.Printf("%-22s before=%-12v after=%-12v speedup=%.1fx (maxprocs=%d)\n",
 				"sweep-parallel(E15)", time.Duration(sw.BeforeNs), time.Duration(sw.AfterNs), sw.Speedup, sw.MaxProcs)
+			fmt.Printf("%-22s before=%-12v after=%-12v speedup=%.1fx (%s n=%d)\n",
+				"cluster-engine", time.Duration(ce.BeforeNs), time.Duration(ce.AfterNs), ce.Speedup, ce.Protocol, ce.Nodes)
 		}
 	}
 	if *jsonOut {

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"time"
 
+	"fuzzybarrier/internal/cluster"
 	"fuzzybarrier/internal/exp"
 	"fuzzybarrier/internal/machine"
 	"fuzzybarrier/internal/mem"
@@ -41,12 +42,25 @@ type sweepReport struct {
 	simReport
 }
 
+// clusterReport measures the cluster event engines (before = the
+// closure heap, after = the typed-event arena engine) on one lossy
+// dissemination run; both replay the identical schedule, so the Results
+// match and only the time differs.
+type clusterReport struct {
+	Protocol string `json:"protocol"`
+	Nodes    int    `json:"nodes"`
+	Epochs   int    `json:"epochs"`
+	Reps     int    `json:"reps"`
+	simReport
+}
+
 // combinedOutput is the -json -sim document: the barbench array plus the
 // simulator perf measurements archived in BENCH_SMOKE.json.
 type combinedOutput struct {
-	Barbench           []record    `json:"barbench"`
-	MachineFastForward ffReport    `json:"machine_fast_forward"`
-	SweepParallel      sweepReport `json:"sweep_parallel"`
+	Barbench           []record      `json:"barbench"`
+	MachineFastForward ffReport      `json:"machine_fast_forward"`
+	SweepParallel      sweepReport   `json:"sweep_parallel"`
+	ClusterEngine      clusterReport `json:"cluster_engine"`
 }
 
 // minTime runs fn reps times and returns the fastest wall-clock run.
@@ -105,6 +119,41 @@ func measureFastForward(procs, iters, reps int) (ffReport, error) {
 	}
 	return ffReport{
 		Procs: procs, Iters: iters, Reps: reps,
+		simReport: simReport{
+			BeforeNs: before.Nanoseconds(), AfterNs: after.Nanoseconds(),
+			Speedup: speedup(before, after),
+		},
+	}, nil
+}
+
+// measureClusterEngine times one lossy cluster run on the closure
+// engine vs. the typed-event engine.
+func measureClusterEngine(nodes, epochs, reps int) (clusterReport, error) {
+	const proto = "dissemination"
+	run := func(disable bool) error {
+		sim, err := cluster.New(cluster.Config{
+			Protocol: proto, Nodes: nodes, Epochs: epochs,
+			Work: 120, WorkJitter: 40, Region: 30,
+			Net:               cluster.NetConfig{Latency: 12, Jitter: 25, DropRate: 0.2, DupRate: 0.08},
+			Seed:              1234,
+			DisableFastEngine: disable,
+		})
+		if err != nil {
+			return err
+		}
+		_, err = sim.Run()
+		return err
+	}
+	before, err := minTime(reps, func() error { return run(true) })
+	if err != nil {
+		return clusterReport{}, err
+	}
+	after, err := minTime(reps, func() error { return run(false) })
+	if err != nil {
+		return clusterReport{}, err
+	}
+	return clusterReport{
+		Protocol: proto, Nodes: nodes, Epochs: epochs, Reps: reps,
 		simReport: simReport{
 			BeforeNs: before.Nanoseconds(), AfterNs: after.Nanoseconds(),
 			Speedup: speedup(before, after),

@@ -27,6 +27,8 @@
 //	-seed S         RNG seed; same seed => byte-identical run (default 1)
 //	-seeds K        replay K consecutive seeds S..S+K-1 per protocol (default 1)
 //	-parallel N     workers for the (protocol, seed) sweep; 0 = GOMAXPROCS
+//	-engine E       event engine: fast (typed-event arena, default) or slow
+//	                (the original closure heap); output is byte-identical
 //	-log            print the full message-level event log
 //	-trace-out FILE write a Chrome trace-event JSON (chrome://tracing, Perfetto)
 //
@@ -62,6 +64,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "RNG seed; same seed => byte-identical run")
 	seeds := flag.Int("seeds", 1, "replay this many consecutive seeds per protocol")
 	parallel := flag.Int("parallel", 0, "workers for the (protocol, seed) sweep; 0 = GOMAXPROCS")
+	engine := flag.String("engine", "fast", "event engine: fast (typed-event arena) or slow (closure heap)")
 	logEvents := flag.Bool("log", false, "print the message-level event log")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file")
 	flag.Parse()
@@ -78,6 +81,9 @@ func main() {
 	}
 	if *logEvents && *seeds != 1 {
 		fatal(fmt.Errorf("-log wants -seeds 1, got %d seeds", *seeds))
+	}
+	if *engine != "fast" && *engine != "slow" {
+		fatal(fmt.Errorf("-engine wants fast or slow, got %q", *engine))
 	}
 
 	// Each (protocol, seed) cell is an independent replay. Cells run on
@@ -107,10 +113,11 @@ func main() {
 				Latency: *latency, Jitter: *jitter,
 				DropRate: *drop, DupRate: *dup,
 			},
-			TreeArity: *arity,
-			Seed:      s,
-			LogEvents: *logEvents,
-			Recorder:  rec,
+			TreeArity:         *arity,
+			Seed:              s,
+			LogEvents:         *logEvents,
+			Recorder:          rec,
+			DisableFastEngine: *engine == "slow",
 		})
 		if err != nil {
 			return cellOut{}, err

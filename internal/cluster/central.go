@@ -12,19 +12,31 @@ const coordinatorID = 0
 // reliably sends RELEASE(e) to everyone else and releases itself. Cost
 // is O(n) messages through one node per epoch — the message-passing
 // analog of the hot spot of Section 1.
+//
+// The coordinator accumulates at most one epoch at a time: a node can
+// send ARRIVE(e) only after releasing e-1, which requires the
+// coordinator to have completed e-1 first. Arrival state is therefore a
+// fixed per-node epoch-stamp array (seenEpoch[i] == e marks node i's
+// distinct arrival for the active epoch e) instead of per-epoch maps —
+// the stamps make duplicate ARRIVEs idempotent without allocating on
+// the receive path.
 type centralProto struct {
 	n *node
-	// arrived (coordinator only): epoch -> the distinct nodes that
-	// arrived. The per-node set (not a count) is what makes duplicate
-	// ARRIVEs — retransmissions whose ack was lost, or network dups —
-	// idempotent.
-	arrived map[int64]map[int]bool
+	// Coordinator only: seenEpoch[i] is the last epoch node i's arrival
+	// was counted for (-1 initially), count the distinct arrivals for
+	// epoch, and epoch the one accumulating epoch (-1 when none).
+	seenEpoch []int64
+	count     int
+	epoch     int64
 }
 
 func newCentral(n *node) *centralProto {
-	c := &centralProto{n: n}
+	c := &centralProto{n: n, epoch: -1}
 	if n.id == coordinatorID {
-		c.arrived = make(map[int64]map[int]bool)
+		c.seenEpoch = make([]int64, n.s.cfg.Nodes)
+		for i := range c.seenEpoch {
+			c.seenEpoch[i] = -1
+		}
 	}
 	return c
 }
@@ -38,24 +50,25 @@ func (c *centralProto) arrive(e int64) {
 }
 
 // record notes one distinct arrival at the coordinator and completes
-// the epoch when the set is full.
+// the epoch when the count is full.
 func (c *centralProto) record(from int, e int64) {
 	if e < c.n.releasedThrough {
 		return // stale retransmission of an already-completed epoch
 	}
-	set := c.arrived[e]
-	if set == nil {
-		set = make(map[int]bool)
-		c.arrived[e] = set
+	if e != c.epoch {
+		c.epoch = e
+		c.count = 0
 	}
-	if set[from] {
+	if c.seenEpoch[from] == e {
+		return // duplicate
+	}
+	c.seenEpoch[from] = e
+	c.count++
+	if c.count < c.n.s.cfg.Nodes {
 		return
 	}
-	set[from] = true
-	if len(set) < c.n.s.cfg.Nodes {
-		return
-	}
-	delete(c.arrived, e)
+	c.epoch = -1
+	c.count = 0
 	for i := 0; i < c.n.s.cfg.Nodes; i++ {
 		if i != coordinatorID {
 			c.n.out.send(Message{Kind: MsgRelease, To: i, Epoch: e})
@@ -78,8 +91,8 @@ func (c *centralProto) pendingLine() string {
 		return fmt.Sprintf("awaiting release for epoch %d", c.n.releasedThrough)
 	}
 	out := "coordinator"
-	for _, e := range sortedEpochs(c.arrived) {
-		out += fmt.Sprintf(" e=%d:%d/%d", e, len(c.arrived[e]), c.n.s.cfg.Nodes)
+	if c.epoch >= 0 {
+		out += fmt.Sprintf(" e=%d:%d/%d", c.epoch, c.count, c.n.s.cfg.Nodes)
 	}
 	return out
 }

@@ -37,7 +37,7 @@ package cluster
 
 import (
 	"fmt"
-	"sort"
+	"math"
 	"strings"
 
 	"fuzzybarrier/internal/trace"
@@ -90,6 +90,14 @@ type Config struct {
 
 	LogEvents bool            // record the textual event log (Sim.EventLog)
 	Recorder  *trace.Recorder // optional lane/event recording (nil = off)
+
+	// DisableFastEngine falls back to the original closure-based
+	// container/heap event loop instead of the pooled typed-event
+	// engine. The two engines replay the same schedule event for event
+	// — byte-identical event logs and Results (see engine_test.go) —
+	// so this knob exists for differential testing and for measuring
+	// the engine speedup itself (BenchmarkClusterEngine, bench-gate).
+	DisableFastEngine bool
 }
 
 // Protocols returns the implemented protocol names in presentation
@@ -120,6 +128,17 @@ func (cfg Config) withDefaults() (Config, error) {
 			return cfg, fmt.Errorf("cluster: fault rate %v outside [0,1]", r)
 		}
 	}
+	for _, v := range []struct {
+		name string
+		v    int64
+	}{
+		{"Work", cfg.Work}, {"WorkJitter", cfg.WorkJitter},
+		{"Region", cfg.Region}, {"StraggleExtra", cfg.StraggleExtra},
+	} {
+		if v.v < 0 {
+			return cfg, fmt.Errorf("cluster: negative %s %d", v.name, v.v)
+		}
+	}
 	if cfg.Net.Latency < 1 {
 		cfg.Net.Latency = 1
 	}
@@ -129,25 +148,64 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.TreeArity < 2 {
 		cfg.TreeArity = 2
 	}
+	// The derived liveness budgets multiply user-sized knobs, so very
+	// large Epochs/Work/MaxRTO configs can overflow int64 and turn the
+	// budget negative — which would declare every run stuck at t=0.
+	// Derive with overflow checks and reject configs whose budget does
+	// not fit, telling the caller to set the knob explicitly.
+	ticks := tickBudget{}
 	if cfg.InitRTO <= 0 {
 		// A shade above the worst-case RTT so a clean network never
 		// retransmits spuriously.
-		cfg.InitRTO = 2*(cfg.Net.Latency+cfg.Net.Jitter) + 2
+		cfg.InitRTO = ticks.add(ticks.mul(2, ticks.add(cfg.Net.Latency, cfg.Net.Jitter)), 2)
 	}
 	if cfg.MaxRTO <= 0 {
-		cfg.MaxRTO = 16 * cfg.InitRTO
+		cfg.MaxRTO = ticks.mul(16, cfg.InitRTO)
 	}
 	if cfg.MaxRTO < cfg.InitRTO {
 		cfg.MaxRTO = cfg.InitRTO
 	}
-	span := cfg.Work + cfg.WorkJitter + cfg.Region + cfg.StraggleExtra + 1
+	span := ticks.add(ticks.add(cfg.Work, cfg.WorkJitter), ticks.add(cfg.Region, ticks.add(cfg.StraggleExtra, 1)))
 	if cfg.WatchdogAfter <= 0 {
-		cfg.WatchdogAfter = 16*span + 64*cfg.MaxRTO
+		cfg.WatchdogAfter = ticks.add(ticks.mul(16, span), ticks.mul(64, cfg.MaxRTO))
 	}
 	if cfg.MaxTicks <= 0 {
-		cfg.MaxTicks = int64(cfg.Epochs+2)*4*span + int64(cfg.Epochs+2)*64*cfg.MaxRTO
+		epochs := int64(cfg.Epochs) + 2
+		cfg.MaxTicks = ticks.add(
+			ticks.mul(ticks.mul(epochs, 4), span),
+			ticks.mul(ticks.mul(epochs, 64), cfg.MaxRTO))
+	}
+	if ticks.overflowed {
+		return cfg, fmt.Errorf(
+			"cluster: derived tick budget overflows int64 (Epochs=%d Work=%d WorkJitter=%d Region=%d StraggleExtra=%d MaxRTO=%d); set InitRTO/MaxRTO/WatchdogAfter/MaxTicks explicitly",
+			cfg.Epochs, cfg.Work, cfg.WorkJitter, cfg.Region, cfg.StraggleExtra, cfg.MaxRTO)
 	}
 	return cfg, nil
+}
+
+// tickBudget is saturating non-negative int64 arithmetic for the
+// derived liveness budgets: results clamp at MaxInt64 and the overflow
+// is latched so withDefaults can surface one config error instead of a
+// silently negative budget.
+type tickBudget struct{ overflowed bool }
+
+func (t *tickBudget) add(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		t.overflowed = true
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+func (t *tickBudget) mul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		t.overflowed = true
+		return math.MaxInt64
+	}
+	return a * b
 }
 
 // StuckReport describes a watchdog firing: which node is furthest
@@ -225,16 +283,4 @@ func (r *Result) String() string {
 		s += " STUCK"
 	}
 	return s
-}
-
-// sortedEpochs returns the keys of a per-epoch state map in ascending
-// order — the one place protocol code may iterate a map, used only for
-// stuck-state rendering so reports are deterministic.
-func sortedEpochs[V any](m map[int64]V) []int64 {
-	out := make([]int64, 0, len(m))
-	for e := range m {
-		out = append(out, e)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }

@@ -12,18 +12,24 @@ import "fmt"
 //
 // Because completion is local, a fast node can finish epoch e and send
 // ROUND(e+1, 0) while a peer is still collecting rounds for e; the
-// per-epoch got map buffers those early messages until the local
-// Arrive(e+1) starts consuming them (the sender's progress proves the
-// receiver arrived at e, so buffered state stays at most one epoch
-// deep).
+// receiver buffers those early messages until its own Arrive(e+1)
+// starts consuming them. The sender's progress proves the receiver
+// arrived at e, so at most the two consecutive epochs
+// {releasedThrough, releasedThrough+1} are ever live — consecutive
+// epochs have opposite parity, so the buffers are two parity-indexed
+// round bitmasks with epoch stamps (no per-epoch maps, no allocation
+// on the receive path).
 type dissProto struct {
 	n      *node
 	rounds int
-	// got: epoch -> set of rounds received from the expected senders.
-	got map[int64]map[int]bool
-	// cur: epoch -> the round the node is currently in; an entry exists
-	// only once the node itself arrived at that epoch.
-	cur map[int64]int
+	// gotEpoch[e&1] stamps which epoch that parity slot buffers (-1 =
+	// empty); gotMask[e&1] has bit r set when ROUND(e, r) was received.
+	gotEpoch [2]int64
+	gotMask  [2]uint64
+	// curEpoch/curRound: the epoch the node itself is executing (-1
+	// between epochs) and the round it is currently in.
+	curEpoch int64
+	curRound int
 }
 
 func newDissemination(n *node) *dissProto {
@@ -31,16 +37,14 @@ func newDissemination(n *node) *dissProto {
 	for span := 1; span < n.s.cfg.Nodes; span *= 2 {
 		rounds++
 	}
-	return &dissProto{
-		n:      n,
-		rounds: rounds,
-		got:    make(map[int64]map[int]bool),
-		cur:    make(map[int64]int),
-	}
+	d := &dissProto{n: n, rounds: rounds, curEpoch: -1}
+	d.gotEpoch[0], d.gotEpoch[1] = -1, -1
+	return d
 }
 
 func (d *dissProto) arrive(e int64) {
-	d.cur[e] = 0
+	d.curEpoch = e
+	d.curRound = 0
 	if d.rounds > 0 {
 		d.sendRound(e, 0)
 	}
@@ -55,20 +59,22 @@ func (d *dissProto) sendRound(e int64, r int) {
 // advance consumes buffered round receipts: each completed round enters
 // (and sends) the next; completing the last round releases the epoch.
 func (d *dissProto) advance(e int64) {
-	r, arrived := d.cur[e]
-	if !arrived {
+	if e != d.curEpoch {
 		return // early message for an epoch we haven't reached
 	}
-	for r < d.rounds && d.got[e][r] {
+	slot := e & 1
+	r := d.curRound
+	for r < d.rounds && d.gotEpoch[slot] == e && d.gotMask[slot]&(1<<uint(r)) != 0 {
 		r++
-		d.cur[e] = r
+		d.curRound = r
 		if r < d.rounds {
 			d.sendRound(e, r)
 		}
 	}
 	if r >= d.rounds {
-		delete(d.got, e)
-		delete(d.cur, e)
+		d.gotEpoch[slot] = -1
+		d.gotMask[slot] = 0
+		d.curEpoch = -1
 		d.n.release(e)
 	}
 }
@@ -80,22 +86,25 @@ func (d *dissProto) handle(m Message) {
 	if m.Epoch < d.n.releasedThrough {
 		return // stale retransmission of an already-completed epoch
 	}
-	set := d.got[m.Epoch]
-	if set == nil {
-		set = make(map[int]bool)
-		d.got[m.Epoch] = set
+	slot := m.Epoch & 1
+	if d.gotEpoch[slot] != m.Epoch {
+		// The slot held nothing or an already-released epoch of the
+		// same parity (two epochs older); claim it for m.Epoch.
+		d.gotEpoch[slot] = m.Epoch
+		d.gotMask[slot] = 0
 	}
-	if set[m.Round] {
+	bit := uint64(1) << uint(m.Round)
+	if d.gotMask[slot]&bit != 0 {
 		return // duplicate
 	}
-	set[m.Round] = true
+	d.gotMask[slot] |= bit
 	d.advance(m.Epoch)
 }
 
 func (d *dissProto) pendingLine() string {
 	out := fmt.Sprintf("dissemination(rounds=%d)", d.rounds)
-	for _, e := range sortedEpochs(d.cur) {
-		out += fmt.Sprintf(" e=%d:round %d/%d", e, d.cur[e], d.rounds)
+	if d.curEpoch >= 0 {
+		out += fmt.Sprintf(" e=%d:round %d/%d", d.curEpoch, d.curRound, d.rounds)
 	}
 	return out
 }

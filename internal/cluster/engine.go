@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"fmt"
+
+	"fuzzybarrier/internal/trace"
+)
+
+// This file is the default (fast) event engine: a pooled arena of typed
+// events ordered by a two-tier priority queue — a calendar wheel of
+// per-tick buckets for the near horizon, backed by a flat, index-based
+// 4-ary min-heap for far-future events — and dispatched through a
+// switch instead of captured closures. The closure engine in sim.go
+// heap-allocates an *event plus a closure per scheduled action and
+// boxes both through container/heap's `any` interface; this engine
+// recycles fixed-size slots through a free list, so the steady-state
+// schedule/dispatch path performs zero allocations
+// (TestFastEngineZeroAllocSteadyState pins that down with
+// testing.AllocsPerRun).
+//
+// Determinism contract: events are dispatched in exactly the same
+// (at, seq) order the closure engine's heap produces, and every
+// scheduling action consumes exactly one sequence number in both
+// engines, so the two replay the identical schedule — byte-identical
+// event logs and Results (TestEngineEquivalence). Retransmit timers
+// additionally rely on the lazy-cancel scheme in node.go inserting
+// events at their *original* (deadline, armseq) key rather than a fresh
+// sequence number; see outbox.ensureArmed.
+
+// evKind tags a pooled event; dispatch switches on it.
+type evKind uint8
+
+const (
+	evWork    evKind = iota // a node's non-barrier work span ends
+	evRegion                // a node's barrier-region span ends
+	evDeliver               // the network delivers msg to msg.To
+	evRetx                  // an outbox retransmit-timer deadline (lazily cancelled)
+)
+
+// fevent is one pooled typed event. The Message payload lives inline so
+// deliveries carry no pointer to chase and no allocation to free.
+type fevent struct {
+	at    int64
+	seq   uint64
+	start int64   // evWork/evRegion: span start, for trace-lane painting
+	epoch int64   // evWork/evRegion
+	msg   Message // evDeliver
+	node  int32   // evWork/evRegion/evRetx
+	kind  evKind
+	next  int32 // free-list link while the slot is unqueued
+}
+
+// heapEntry carries an event's (at, seq) ordering key inline next to
+// its arena index. The wheel buckets and the overflow heap compare and
+// move only these 24-byte entries — the arena, whose slots are far
+// larger and randomly placed, is untouched until the winning event is
+// dispatched, which keeps the queue's working set in cache.
+type heapEntry struct {
+	at  int64
+	seq uint64
+	idx int32
+}
+
+// maxWheelSpan caps the calendar wheel's bucket count; configs whose
+// longest delay exceeds it just route more events through the overflow
+// heap (correct, merely slower).
+const maxWheelSpan = 8192
+
+// fastEngine owns the arena and the two-tier queue over it.
+//
+// The wheel invariant: every queued event with at < wt+H (H = bucket
+// count) lives in bucket at&hmask, and every event in a bucket shares
+// one dispatch time — two distinct times less than H apart cannot
+// collide mod H, and an event further out than H is kept in the
+// overflow heap until wt advances to within H of it. Each bucket is
+// sorted by seq: schedule() appends monotonically increasing sequence
+// numbers, and the two out-of-order producers — overflow drains and
+// lazy retransmit re-arms, both carrying keys consumed earlier — do a
+// binary-search insert. Advancing wt therefore dispatches strictly in
+// (at, seq) order at O(1) amortized per event, instead of the O(log n)
+// comparison cascade a single heap pays on every pop.
+type fastEngine struct {
+	s     *Sim
+	arena []fevent
+	free  int32 // free-list head; -1 when empty
+
+	wheel  [][]heapEntry // per-tick buckets; bucket wt&hmask drains at time wt
+	hmask  int64
+	wt     int64 // wheel time: no queued event is earlier
+	cursor int   // dispatch position within the current bucket
+	queued int   // entries across all buckets
+
+	over []heapEntry // 4-ary min-heap on (at, seq): events with at >= wt+H
+}
+
+func newFastEngine(s *Sim) *fastEngine {
+	// The wheel spans the longest delay any scheduling site can ask
+	// for, so in ordinary runs the overflow heap stays empty.
+	maxDelay := s.cfg.Work + s.cfg.WorkJitter + s.cfg.StraggleExtra
+	if s.cfg.Region > maxDelay {
+		maxDelay = s.cfg.Region
+	}
+	if d := s.cfg.Net.Latency + s.cfg.Net.Jitter; d > maxDelay {
+		maxDelay = d
+	}
+	if s.cfg.MaxRTO > maxDelay {
+		maxDelay = s.cfg.MaxRTO
+	}
+	span := int64(64)
+	for span <= maxDelay && span < maxWheelSpan {
+		span *= 2
+	}
+	return &fastEngine{s: s, free: -1, wheel: make([][]heapEntry, span), hmask: span - 1}
+}
+
+// alloc takes a slot off the free list, growing the arena only until
+// the run's high-water mark is reached.
+func (f *fastEngine) alloc() int32 {
+	if f.free >= 0 {
+		i := f.free
+		f.free = f.arena[i].next
+		return i
+	}
+	f.arena = append(f.arena, fevent{})
+	return int32(len(f.arena) - 1)
+}
+
+// release returns a slot to the free list.
+func (f *fastEngine) release(i int32) {
+	f.arena[i].next = f.free
+	f.free = i
+}
+
+// entryLess orders queue entries by (at, seq) — the closure engine's key.
+func entryLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// enqueue routes one keyed entry to its tier.
+func (f *fastEngine) enqueue(e heapEntry) {
+	if e.at < f.wt {
+		panic(fmt.Sprintf("cluster: event scheduled in the past (at=%d, wheel time %d)", e.at, f.wt))
+	}
+	if e.at-f.wt < int64(len(f.wheel)) {
+		f.insertWheel(e)
+		return
+	}
+	f.pushOver(e)
+}
+
+// insertWheel places an entry in its bucket, keeping the bucket sorted
+// by seq. The common case is a plain append: sequence numbers are
+// consumed in scheduling order, so same-bucket appends arrive
+// monotonically. Entries carrying older keys (overflow drains, lazy
+// retransmit re-arms) binary-search their slot; in the bucket currently
+// dispatching, positions before the cursor are already dispatched and
+// by construction no in-order key can land there.
+func (f *fastEngine) insertWheel(e heapEntry) {
+	bi := e.at & f.hmask
+	b := f.wheel[bi]
+	lo := 0
+	if e.at == f.wt {
+		lo = f.cursor
+	}
+	if len(b) == lo || e.seq > b[len(b)-1].seq {
+		f.wheel[bi] = append(b, e)
+		f.queued++
+		return
+	}
+	i, j := lo, len(b)
+	for i < j {
+		h := (i + j) / 2
+		if b[h].seq < e.seq {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	b = append(b, heapEntry{})
+	copy(b[i+1:], b[i:])
+	b[i] = e
+	f.wheel[bi] = b
+	f.queued++
+}
+
+// next dispatches the queue in (at, seq) order: return the arena index
+// of the minimum event (advancing wheel time past drained buckets and
+// pulling newly eligible overflow events on the way), or -1 when
+// nothing is queued.
+func (f *fastEngine) next() int32 {
+	h := int64(len(f.wheel))
+	for {
+		b := f.wheel[f.wt&f.hmask]
+		if f.cursor < len(b) {
+			e := b[f.cursor]
+			f.cursor++
+			f.queued--
+			return e.idx
+		}
+		if f.queued == 0 && len(f.over) == 0 {
+			return -1
+		}
+		// Current bucket exhausted: recycle it and advance. With the
+		// wheel empty, jump straight to the overflow's first deadline
+		// instead of walking every intervening tick.
+		f.wheel[f.wt&f.hmask] = b[:0]
+		f.cursor = 0
+		if f.queued == 0 {
+			f.wt = f.over[0].at
+		} else {
+			f.wt++
+		}
+		for len(f.over) > 0 && f.over[0].at-f.wt < h {
+			f.insertWheel(f.popOver())
+		}
+	}
+}
+
+// pushOver sifts a new entry up the 4-ary overflow heap; the hole is
+// moved rather than swapped, so each level costs one copy.
+func (f *fastEngine) pushOver(e heapEntry) {
+	f.over = append(f.over, e)
+	o := f.over
+	c := len(o) - 1
+	for c > 0 {
+		p := (c - 1) / 4
+		if !entryLess(e, o[p]) {
+			break
+		}
+		o[c] = o[p]
+		c = p
+	}
+	o[c] = e
+}
+
+// popOver removes and returns the overflow heap's minimum entry.
+func (f *fastEngine) popOver() heapEntry {
+	o := f.over
+	top := o[0]
+	last := len(o) - 1
+	e := o[last]
+	f.over = o[:last]
+	n := last
+	c := 0
+	for {
+		first := 4*c + 1
+		if first >= n {
+			break
+		}
+		m := first
+		stop := first + 4
+		if stop > n {
+			stop = n
+		}
+		for k := first + 1; k < stop; k++ {
+			if entryLess(o[k], o[m]) {
+				m = k
+			}
+		}
+		if !entryLess(o[m], e) {
+			break
+		}
+		o[c] = o[m]
+		c = m
+	}
+	if n > 0 {
+		o[c] = e
+	}
+	return top
+}
+
+// schedule enqueues a typed event after delay ticks (clamped to now),
+// consuming one sequence number exactly like Sim.schedule.
+func (f *fastEngine) schedule(delay int64, kind evKind, node int32, epoch, start int64, msg Message) {
+	if delay < 0 {
+		delay = 0
+	}
+	f.s.eseq++
+	f.scheduleAt(f.s.now+delay, f.s.eseq, kind, node, epoch, start, msg)
+}
+
+// scheduleAt enqueues a typed event at an explicit (at, seq) key. The
+// lazy retransmit-timer scheme uses this to re-insert a timer at the
+// original key its per-message counterpart would have occupied in the
+// closure engine, which is what keeps the two engines' schedules
+// identical.
+func (f *fastEngine) scheduleAt(at int64, seq uint64, kind evKind, node int32, epoch, start int64, msg Message) {
+	i := f.alloc()
+	ev := &f.arena[i]
+	ev.at, ev.seq, ev.kind, ev.node = at, seq, kind, node
+	ev.epoch, ev.start, ev.msg = epoch, start, msg
+	f.enqueue(heapEntry{at: at, seq: seq, idx: i})
+}
+
+// stepFast pops and dispatches one event; false stops the run (drained
+// queue or a failed budget check, both diagnosed as stuck).
+func (s *Sim) stepFast() bool {
+	f := s.fast
+	i := f.next()
+	if i < 0 {
+		// No pending events but nodes unfinished: a protocol bug
+		// (reliable delivery always leaves a timer pending).
+		s.diagnoseStuck("event queue drained")
+		return false
+	}
+	// Copy before releasing: handlers schedule new events, which may
+	// reuse this slot or grow (and move) the arena.
+	ev := f.arena[i]
+	f.release(i)
+	s.now = ev.at
+	if !s.checkBudget() {
+		return false
+	}
+	switch ev.kind {
+	case evWork:
+		n := s.nodes[ev.node]
+		n.markRange(ev.start, s.now, trace.KindWork)
+		n.workDone(ev.epoch)
+	case evRegion:
+		n := s.nodes[ev.node]
+		n.markRange(ev.start, s.now, trace.KindBarrier)
+		n.regionDone(ev.epoch)
+	case evDeliver:
+		s.deliver(ev.msg)
+	case evRetx:
+		s.nodes[ev.node].out.fireRetx(ev.at, ev.seq)
+	default:
+		panic(fmt.Sprintf("cluster: unknown event kind %d", ev.kind))
+	}
+	return true
+}

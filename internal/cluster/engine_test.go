@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"math"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// equivalenceNets are the network regimes the engine-equivalence matrix
+// covers: lossless, jittery (reordering), and fully faulty (drops,
+// duplicates, jitter).
+func equivalenceNets() []struct {
+	name string
+	net  NetConfig
+} {
+	return []struct {
+		name string
+		net  NetConfig
+	}{
+		{"clean", NetConfig{Latency: 10}},
+		{"jitter", NetConfig{Latency: 12, Jitter: 25}},
+		{"lossy", NetConfig{Latency: 12, Jitter: 25, DropRate: 0.15, DupRate: 0.1}},
+	}
+}
+
+// TestEngineEquivalence pins the fast engine to the closure engine:
+// across every protocol, network regime and a spread of seeds, the two
+// must produce byte-identical event logs and identical Results. This is
+// the refactor's safety net — the typed-event arena, the 4-ary heap and
+// the lazy-cancel retransmit timers may change how the schedule is
+// stored, but never what it replays.
+func TestEngineEquivalence(t *testing.T) {
+	for _, proto := range Protocols() {
+		for _, nc := range equivalenceNets() {
+			for seed := uint64(1); seed <= 8; seed++ {
+				cfg := Config{
+					Protocol: proto, Nodes: 6, Epochs: 15,
+					Work: 150, WorkJitter: 60, Region: 30,
+					Straggler: 3, StraggleExtra: 45,
+					Net:       nc.net,
+					Seed:      seed,
+					LogEvents: true,
+				}
+				fastLog, fastRes := collectLog(t, cfg)
+				cfg.DisableFastEngine = true
+				slowLog, slowRes := collectLog(t, cfg)
+				if fastLog != slowLog {
+					t.Fatalf("%s/%s/seed=%d: engines diverge:\n%s",
+						proto, nc.name, seed, firstDiff(fastLog, slowLog))
+				}
+				if !reflect.DeepEqual(fastRes, slowRes) {
+					t.Fatalf("%s/%s/seed=%d: identical logs but different Results:\nfast: %v\nslow: %v",
+						proto, nc.name, seed, fastRes, slowRes)
+				}
+				if fastLog == "" {
+					t.Fatalf("%s/%s/seed=%d: empty event log", proto, nc.name, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestFastEngineZeroAllocSteadyState pins the headline property: once
+// the arena, heap, outbox rings and timer queues have reached their
+// high-water marks, the schedule/dispatch path allocates nothing — on a
+// faulty network, with retransmissions and duplicate deliveries in
+// flight.
+func TestFastEngineZeroAllocSteadyState(t *testing.T) {
+	for _, proto := range Protocols() {
+		cfg := Config{
+			Protocol: proto, Nodes: 8, Epochs: 1 << 20,
+			Work: 40, WorkJitter: 10, Region: 20,
+			Net:  NetConfig{Latency: 8, Jitter: 6, DropRate: 0.05, DupRate: 0.02},
+			Seed: 99,
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drive the engine by hand (Run's inner loop) so allocations can
+		// be sampled mid-flight.
+		s.ran = true
+		for _, n := range s.nodes {
+			n.startEpoch(0)
+		}
+		step := func(count int) {
+			for i := 0; i < count; i++ {
+				if !s.stepFast() {
+					t.Fatalf("%s: run stopped during steady state: %v", proto, s.stuck)
+				}
+			}
+		}
+		step(300000) // warm past every pool's and bucket's high-water mark
+		avg := testing.AllocsPerRun(10, func() { step(2000) })
+		if avg != 0 {
+			t.Errorf("%s: steady-state schedule/dispatch allocates (%.1f allocs per 2000 events)", proto, avg)
+		}
+		if s.doneNodes == len(s.nodes) {
+			t.Fatalf("%s: run completed during measurement; raise Epochs", proto)
+		}
+	}
+}
+
+// TestConfigBudgetOverflow: deriving the default watchdog/tick budgets
+// from enormous knobs must surface a config error, never wrap into a
+// negative budget that declares every run stuck at t=0. Explicit
+// budgets sidestep the derivation and keep such configs constructible.
+func TestConfigBudgetOverflow(t *testing.T) {
+	huge := Config{
+		Protocol: "central", Nodes: 2, Epochs: math.MaxInt32,
+		Work: math.MaxInt64 / 4,
+		Net:  NetConfig{Latency: 10},
+	}
+	if _, err := huge.withDefaults(); err == nil {
+		t.Fatal("withDefaults accepted a config whose derived tick budget overflows int64")
+	}
+	huge.InitRTO = 30
+	huge.MaxRTO = 480
+	huge.WatchdogAfter = math.MaxInt64 / 2
+	huge.MaxTicks = math.MaxInt64 / 2
+	got, err := huge.withDefaults()
+	if err != nil {
+		t.Fatalf("withDefaults rejected explicit budgets: %v", err)
+	}
+	for name, v := range map[string]int64{
+		"InitRTO": got.InitRTO, "MaxRTO": got.MaxRTO,
+		"WatchdogAfter": got.WatchdogAfter, "MaxTicks": got.MaxTicks,
+	} {
+		if v <= 0 {
+			t.Errorf("explicit %s came out non-positive (%d)", name, v)
+		}
+	}
+}
+
+// gateConfigs is the lossy-network sweep the speedup gate times: every
+// protocol at two fan-ins, with drops, duplicates and jitter keeping a
+// realistic retransmission load in flight.
+func gateConfigs() []Config {
+	var cfgs []Config
+	for _, proto := range Protocols() {
+		for _, nodes := range []int{256, 1024} {
+			cfgs = append(cfgs, Config{
+				Protocol: proto, Nodes: nodes, Epochs: 20,
+				Work: 120, WorkJitter: 40, Region: 30,
+				Net:  NetConfig{Latency: 12, Jitter: 25, DropRate: 0.2, DupRate: 0.08},
+				Seed: 1234,
+			})
+		}
+	}
+	return cfgs
+}
+
+// TestClusterEngineSpeedupGate is the perf regression gate (run via
+// `make bench-gate` with BENCH_GATE=1): the typed-event engine must be
+// at least 3x faster than the closure engine on the lossy sweep.
+// Wall-clock measurement lives behind the env guard so the ordinary
+// test run stays deterministic and machine-independent.
+func TestClusterEngineSpeedupGate(t *testing.T) {
+	if os.Getenv("BENCH_GATE") == "" {
+		t.Skip("set BENCH_GATE=1 to run the wall-clock engine gate")
+	}
+	cfgs := gateConfigs()
+	measure := func(disableFast bool) time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			for _, cfg := range cfgs {
+				cfg.DisableFastEngine = disableFast
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run()
+				if err != nil || res.Stuck != nil {
+					t.Fatalf("%s/n=%d: gate run failed: %v", cfg.Protocol, cfg.Nodes, err)
+				}
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	slow := measure(true)
+	fast := measure(false)
+	speedup := float64(slow) / float64(fast)
+	t.Logf("closure engine %v, typed-event engine %v: speedup %.2fx", slow, fast, speedup)
+	if speedup < 3.0 {
+		t.Fatalf("typed-event engine speedup %.2fx below the 3x gate (closure %v, typed %v)", speedup, slow, fast)
+	}
+}

@@ -26,18 +26,15 @@ func (nw *network) send(m Message) {
 	for c := 0; c < copies; c++ {
 		if cfg.DropRate > 0 && nw.rng.float() < cfg.DropRate {
 			nw.s.drops++
-			nw.s.logf(m.From, trace.EvDrop, "drop %v", m)
+			if nw.s.wantLog {
+				nw.s.logf(m.From, trace.EvDrop, "drop %v", m)
+			}
 			continue
 		}
 		delay := cfg.Latency
 		if cfg.Jitter > 0 {
 			delay += nw.rng.intN(cfg.Jitter + 1)
 		}
-		m := m
-		nw.s.schedule(delay, func() {
-			nw.s.delivered++
-			nw.s.logf(m.To, trace.EvRecv, "recv %v", m)
-			nw.s.nodes[m.To].handle(m)
-		})
+		nw.s.schedDeliver(m, delay)
 	}
 }

@@ -81,11 +81,7 @@ func (n *node) startEpoch(e int64) {
 	if n.s.cfg.StraggleExtra > 0 && n.id == n.s.cfg.Straggler {
 		w += n.s.cfg.StraggleExtra
 	}
-	start := n.s.now
-	n.s.schedule(w, func() {
-		n.markRange(start, n.s.now, trace.KindWork)
-		n.workDone(e)
-	})
+	n.s.schedWork(n, e, w)
 }
 
 // workDone is the node's Arrive(e): record the timestamp, let the
@@ -93,11 +89,7 @@ func (n *node) startEpoch(e int64) {
 func (n *node) workDone(e int64) {
 	n.arriveAt[e] = n.s.now
 	n.proto.arrive(e)
-	start := n.s.now
-	n.s.schedule(n.s.cfg.Region, func() {
-		n.markRange(start, n.s.now, trace.KindBarrier)
-		n.regionDone(e)
-	})
+	n.s.schedRegion(n, e, n.s.cfg.Region)
 }
 
 // regionDone is the node's Wait(e): free if the release already
@@ -171,10 +163,10 @@ func (n *node) stateLine() string {
 		return "done"
 	case n.blocked:
 		return fmt.Sprintf("blocked in Wait(epoch %d) since t=%d; unacked=%d; %s",
-			n.epoch, n.blockedAt, len(n.out.pending), n.proto.pendingLine())
+			n.epoch, n.blockedAt, n.out.live, n.proto.pendingLine())
 	default:
 		return fmt.Sprintf("executing epoch %d (released through %d); unacked=%d; %s",
-			n.epoch, n.releasedThrough, len(n.out.pending), n.proto.pendingLine())
+			n.epoch, n.releasedThrough, n.out.live, n.proto.pendingLine())
 	}
 }
 
@@ -184,22 +176,110 @@ func (n *node) stateLine() string {
 // MaxRTO). Retransmissions reuse the original sequence number, so the
 // receiver's ack matches whichever copy got through and duplicates are
 // harmless.
+//
+// Pending records live in a power-of-two ring indexed by sequence
+// number (seq & mask), recycled in place — no map, no per-send
+// allocation. The ring grows only while the in-flight window exceeds
+// its previous high-water mark.
+//
+// Timers differ per engine. The closure engine arms one heap event per
+// send/retransmit, exactly as before. The fast engine instead keeps a
+// per-outbox deadline queue (tq) plus a small stack of armed heap
+// events (armed): a send or retransmission records its
+// (deadline, armseq) in tq, and a heap event is inserted only when the
+// new deadline undercuts every armed one. Acks cancel nothing — a
+// fired event whose message was acked or re-armed is skipped
+// ("lazy cancel") and the queue head re-armed. Because re-arming
+// inserts the event at the original (deadline, armseq) key (armseq is
+// consumed at arm time in both engines), every real retransmission
+// still fires at exactly the key the closure engine would have given
+// its per-message timer: the invariant is that the smallest armed key
+// never exceeds the smallest live deadline key, so by induction an
+// event with exactly that key fires, matches, and retransmits.
 type outbox struct {
-	n       *node
-	seq     uint64
-	pending map[uint64]*pendingMsg
-	rtt     stats.RTTEstimator
+	n    *node
+	seq  uint64
+	rtt  stats.RTTEstimator
+	live int // pending (unacked) messages, for stuck reports
+
+	slots []pendingMsg // ring keyed by m.Seq & mask
+	mask  uint64
+
+	tq    []retxEntry // min-heap on (deadline, armseq); lazily pruned
+	armed []retxKey   // armed heap-event keys, descending (top = last = smallest)
 }
 
 type pendingMsg struct {
 	m         Message
 	firstSent int64
 	rto       int64
+	deadline  int64  // fast engine: current retransmit deadline
+	armseq    uint64 // fast engine: sequence consumed when that deadline was armed
 	tries     int
+	inUse     bool
+}
+
+// retxEntry is one armed deadline in the per-outbox timer queue.
+type retxEntry struct {
+	deadline int64
+	armseq   uint64
+	seq      uint64 // message sequence this deadline guards
+}
+
+// retxKey is the (at, seq) key of an outstanding evRetx heap event.
+type retxKey struct {
+	at  int64
+	seq uint64
 }
 
 func newOutbox(n *node) *outbox {
-	return &outbox{n: n, pending: make(map[uint64]*pendingMsg)}
+	return &outbox{n: n, slots: make([]pendingMsg, 8), mask: 7}
+}
+
+// slot returns the live pending record for seq, or nil.
+func (o *outbox) slot(seq uint64) *pendingMsg {
+	p := &o.slots[seq&o.mask]
+	if p.inUse && p.m.Seq == seq {
+		return p
+	}
+	return nil
+}
+
+// claimSlot returns a free ring slot for seq, growing the ring past its
+// high-water mark if the in-flight window collides.
+func (o *outbox) claimSlot(seq uint64) *pendingMsg {
+	for o.slots[seq&o.mask].inUse {
+		o.grow()
+	}
+	return &o.slots[seq&o.mask]
+}
+
+// grow doubles the ring until every live record (and by construction
+// any newly claimed seq) lands in a distinct slot.
+func (o *outbox) grow() {
+	size := len(o.slots)
+	for {
+		size *= 2
+		ns := make([]pendingMsg, size)
+		nm := uint64(size - 1)
+		ok := true
+		for i := range o.slots {
+			p := &o.slots[i]
+			if !p.inUse {
+				continue
+			}
+			j := p.m.Seq & nm
+			if ns[j].inUse {
+				ok = false
+				break
+			}
+			ns[j] = *p
+		}
+		if ok {
+			o.slots, o.mask = ns, nm
+			return
+		}
+	}
 }
 
 // send transmits m reliably (assigning its sequence number).
@@ -207,48 +287,168 @@ func (o *outbox) send(m Message) {
 	o.seq++
 	m.Seq = o.seq
 	m.From = o.n.id
-	p := &pendingMsg{m: m, firstSent: o.n.s.now, rto: o.rto(), tries: 1}
-	o.pending[m.Seq] = p
-	o.n.s.sends++
-	o.n.s.logf(o.n.id, trace.EvSend, "send %v", m)
-	o.n.s.net.send(m)
-	o.armTimer(p)
+	s := o.n.s
+	p := o.claimSlot(m.Seq)
+	*p = pendingMsg{m: m, firstSent: s.now, rto: o.rto(), tries: 1, inUse: true}
+	o.live++
+	s.sends++
+	if s.wantLog {
+		s.logf(o.n.id, trace.EvSend, "send %v", m)
+	}
+	s.net.send(m)
+	o.arm(p)
 }
 
-func (o *outbox) armTimer(p *pendingMsg) {
-	seq := p.m.Seq
-	o.n.s.schedule(p.rto, func() { o.timeout(seq) })
+// arm consumes one sequence number for p's retransmit timer — a heap
+// closure on the slow engine, a tq entry (plus at most one heap event)
+// on the fast engine.
+func (o *outbox) arm(p *pendingMsg) {
+	s := o.n.s
+	if s.fast == nil {
+		seq := p.m.Seq
+		s.schedule(p.rto, func() { o.timeout(seq) })
+		return
+	}
+	s.eseq++
+	p.armseq = s.eseq
+	p.deadline = s.now + p.rto
+	o.tqPush(retxEntry{deadline: p.deadline, armseq: p.armseq, seq: p.m.Seq})
+	o.ensureArmed()
 }
 
-// timeout retransmits a still-unacked message and doubles its RTO.
+// ensureArmed inserts an evRetx heap event at the timer queue's minimum
+// key unless an armed event already covers it (armed top <= minimum).
+// Armed keys strictly decrease as they are pushed, so `armed` is a
+// stack with the smallest key on top — and heap events fire in key
+// order, so fireRetx always pops exactly that top.
+func (o *outbox) ensureArmed() {
+	if len(o.tq) == 0 {
+		return
+	}
+	head := o.tq[0]
+	if len(o.armed) > 0 {
+		top := o.armed[len(o.armed)-1]
+		if top.at < head.deadline || (top.at == head.deadline && top.seq <= head.armseq) {
+			return
+		}
+	}
+	o.armed = append(o.armed, retxKey{at: head.deadline, seq: head.armseq})
+	o.n.s.fast.scheduleAt(head.deadline, head.armseq, evRetx, int32(o.n.id), 0, 0, Message{})
+}
+
+// fireRetx handles one evRetx heap event: prune acked/re-armed
+// deadlines, retransmit the message whose deadline key matches the
+// fired event exactly (if it is still live), and re-arm the queue head.
+func (o *outbox) fireRetx(at int64, seq uint64) {
+	top := o.armed[len(o.armed)-1]
+	if top.at != at || top.seq != seq {
+		panic(fmt.Sprintf("cluster: node %d retransmit timer fired out of order (got t=%d seq=%d, armed t=%d seq=%d)",
+			o.n.id, at, seq, top.at, top.seq))
+	}
+	o.armed = o.armed[:len(o.armed)-1]
+	for len(o.tq) > 0 {
+		e := o.tq[0]
+		p := o.slot(e.seq)
+		if p == nil || p.armseq != e.armseq {
+			o.tqPop() // stale: acked, or re-armed by a later retransmission
+			continue
+		}
+		if e.deadline == at && e.armseq == seq {
+			o.tqPop()
+			o.retransmit(p)
+		}
+		// A live head with a later key means this event fired early
+		// (its message was acked after arming); the head stays queued.
+		break
+	}
+	o.ensureArmed()
+}
+
+// timeout is the slow engine's per-message timer callback.
 func (o *outbox) timeout(seq uint64) {
-	p, ok := o.pending[seq]
-	if !ok {
+	p := o.slot(seq)
+	if p == nil {
 		return // acked since the timer was armed
 	}
+	o.retransmit(p)
+}
+
+// retransmit re-sends a still-unacked message, doubling its RTO.
+func (o *outbox) retransmit(p *pendingMsg) {
 	p.tries++
 	p.rto *= 2
 	if p.rto > o.n.s.cfg.MaxRTO {
 		p.rto = o.n.s.cfg.MaxRTO
 	}
-	o.n.s.retransmits++
-	o.n.s.logf(o.n.id, trace.EvRetransmit, "retransmit %v try=%d rto=%d", p.m, p.tries, p.rto)
-	o.n.s.net.send(p.m)
-	o.armTimer(p)
+	s := o.n.s
+	s.retransmits++
+	if s.wantLog {
+		s.logf(o.n.id, trace.EvRetransmit, "retransmit %v try=%d rto=%d", p.m, p.tries, p.rto)
+	}
+	s.net.send(p.m)
+	o.arm(p)
 }
 
 // ack retires a pending message. Only never-retransmitted messages
 // contribute RTT samples (Karn's rule: a retransmitted message's ack is
-// ambiguous about which copy it answers).
+// ambiguous about which copy it answers). Armed timers are cancelled
+// lazily: the record is simply freed, and any timer still pointing at
+// it is skipped when it fires.
 func (o *outbox) ack(seq uint64) {
-	p, ok := o.pending[seq]
-	if !ok {
+	p := o.slot(seq)
+	if p == nil {
 		return // duplicate ack
 	}
 	if p.tries == 1 {
 		o.rtt.Observe(float64(o.n.s.now - p.firstSent))
 	}
-	delete(o.pending, seq)
+	p.inUse = false
+	o.live--
+}
+
+// tqPush adds one deadline to the per-outbox timer min-heap.
+func (o *outbox) tqPush(e retxEntry) {
+	o.tq = append(o.tq, e)
+	c := len(o.tq) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if !retxLess(o.tq[c], o.tq[p]) {
+			break
+		}
+		o.tq[c], o.tq[p] = o.tq[p], o.tq[c]
+		c = p
+	}
+}
+
+// tqPop removes the minimum deadline.
+func (o *outbox) tqPop() {
+	last := len(o.tq) - 1
+	o.tq[0] = o.tq[last]
+	o.tq = o.tq[:last]
+	n := last
+	c := 0
+	for {
+		l, r := 2*c+1, 2*c+2
+		if l >= n {
+			break
+		}
+		m := l
+		if r < n && retxLess(o.tq[r], o.tq[l]) {
+			m = r
+		}
+		if !retxLess(o.tq[m], o.tq[c]) {
+			break
+		}
+		o.tq[c], o.tq[m] = o.tq[m], o.tq[c]
+		c = m
+	}
+}
+
+func retxLess(a, b retxEntry) bool {
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
+	}
+	return a.armseq < b.armseq
 }
 
 // rto returns the current retransmission timeout: the estimator's

@@ -7,9 +7,12 @@ import (
 	"fuzzybarrier/internal/trace"
 )
 
-// event is one scheduled callback. seq breaks time ties in insertion
-// order, which — together with the single-threaded loop and seeded RNG —
-// makes every run fully deterministic.
+// event is one scheduled callback of the fallback (closure) engine. seq
+// breaks time ties in insertion order, which — together with the
+// single-threaded loop and seeded RNG — makes every run fully
+// deterministic. The default engine replaces this with pooled typed
+// events (see engine.go) but keeps the same (at, seq) discipline, so
+// both replay the identical schedule.
 type event struct {
 	at  int64
 	seq uint64
@@ -41,11 +44,17 @@ func (h *eventHeap) Pop() any {
 type Sim struct {
 	cfg   Config
 	now   int64
-	heap  eventHeap
+	heap  eventHeap   // closure engine (cfg.DisableFastEngine)
+	fast  *fastEngine // typed-event engine (default); nil when disabled
 	eseq  uint64
 	net   *network
 	nodes []*node
 	log   []string
+
+	// wantLog gates every hot-path logf call site so the variadic
+	// argument slice is never even built when neither sink is active —
+	// the zero-alloc steady state depends on this.
+	wantLog bool
 
 	lastProgress int64 // sim time of the most recent epoch completion
 	doneNodes    int
@@ -64,6 +73,10 @@ func New(cfg Config) (*Sim, error) {
 		return nil, err
 	}
 	s := &Sim{cfg: cfg}
+	s.wantLog = cfg.Recorder != nil || cfg.LogEvents
+	if !cfg.DisableFastEngine {
+		s.fast = newFastEngine(s)
+	}
 	s.net = &network{s: s, rng: newRNG(mix(cfg.Seed, 0xC0FFEE))}
 	s.nodes = make([]*node, cfg.Nodes)
 	for i := range s.nodes {
@@ -73,7 +86,7 @@ func New(cfg Config) (*Sim, error) {
 }
 
 // schedule runs fn after delay ticks (clamped to now for non-positive
-// delays).
+// delays) on the closure engine.
 func (s *Sim) schedule(delay int64, fn func()) {
 	if delay < 0 {
 		delay = 0
@@ -82,19 +95,72 @@ func (s *Sim) schedule(delay int64, fn func()) {
 	heap.Push(&s.heap, &event{at: s.now + delay, seq: s.eseq, fn: fn})
 }
 
+// schedWork schedules the end of node n's non-barrier work span for
+// epoch e. Both engines consume exactly one sequence number here, so
+// their (at, seq) orderings stay aligned.
+func (s *Sim) schedWork(n *node, e, delay int64) {
+	if s.fast != nil {
+		s.fast.schedule(delay, evWork, int32(n.id), e, s.now, Message{})
+		return
+	}
+	start := s.now
+	s.schedule(delay, func() {
+		n.markRange(start, s.now, trace.KindWork)
+		n.workDone(e)
+	})
+}
+
+// schedRegion schedules the end of node n's barrier-region span for
+// epoch e.
+func (s *Sim) schedRegion(n *node, e, delay int64) {
+	if s.fast != nil {
+		s.fast.schedule(delay, evRegion, int32(n.id), e, s.now, Message{})
+		return
+	}
+	start := s.now
+	s.schedule(delay, func() {
+		n.markRange(start, s.now, trace.KindBarrier)
+		n.regionDone(e)
+	})
+}
+
+// schedDeliver schedules one network delivery of m.
+func (s *Sim) schedDeliver(m Message, delay int64) {
+	if s.fast != nil {
+		s.fast.schedule(delay, evDeliver, 0, 0, 0, m)
+		return
+	}
+	s.schedule(delay, func() { s.deliver(m) })
+}
+
+// deliver hands one transmission to its destination node.
+func (s *Sim) deliver(m Message) {
+	s.delivered++
+	if s.wantLog {
+		s.logf(m.To, trace.EvRecv, "recv %v", m)
+	}
+	s.nodes[m.To].handle(m)
+}
+
 // logf records one event-log line and mirrors it to the trace recorder.
 // The log is append-only and produced by a single-threaded loop, so for
 // a fixed Config it is byte-identical across runs — the replayability
-// guarantee the fault-injection tests pin down.
+// guarantee the fault-injection tests pin down. Each sink's output is
+// built exactly once: recorder-only runs format straight into the
+// recorder, and when both sinks are active the rendered message is
+// shared instead of being re-formatted per sink.
 func (s *Sim) logf(nodeID int, kind trace.EventKind, format string, args ...any) {
-	if s.cfg.Recorder == nil && !s.cfg.LogEvents {
+	rec := s.cfg.Recorder
+	if !s.cfg.LogEvents {
+		if rec == nil {
+			return
+		}
+		rec.EventKindf(s.now, nodeID, kind, format, args...)
 		return
 	}
 	msg := fmt.Sprintf(format, args...)
-	s.cfg.Recorder.EventKindf(s.now, nodeID, kind, "%s", msg)
-	if s.cfg.LogEvents {
-		s.log = append(s.log, fmt.Sprintf("t=%-8d n%-3d %-14s %s", s.now, nodeID, kind, msg))
-	}
+	rec.EventKind(s.now, nodeID, kind, msg)
+	s.log = append(s.log, fmt.Sprintf("t=%-8d n%-3d %-14s %s", s.now, nodeID, kind, msg))
 }
 
 // EventLog returns the recorded log lines (empty unless
@@ -113,6 +179,24 @@ func (s *Sim) Run() (*Result, error) {
 	for _, n := range s.nodes {
 		n.startEpoch(0)
 	}
+	if s.fast != nil {
+		for s.doneNodes < len(s.nodes) {
+			if !s.stepFast() {
+				break
+			}
+		}
+	} else {
+		s.runSlow()
+	}
+	res := s.result()
+	if s.stuck != nil {
+		return res, fmt.Errorf("cluster: %s run stuck: %s", s.cfg.Protocol, s.stuck)
+	}
+	return res, nil
+}
+
+// runSlow is the closure engine's main loop.
+func (s *Sim) runSlow() {
 	for s.doneNodes < len(s.nodes) {
 		if s.heap.Len() == 0 {
 			// No pending events but nodes unfinished: a protocol bug
@@ -122,21 +206,27 @@ func (s *Sim) Run() (*Result, error) {
 		}
 		ev := heap.Pop(&s.heap).(*event)
 		s.now = ev.at
-		if s.now-s.lastProgress > s.cfg.WatchdogAfter {
-			s.diagnoseStuck("no epoch completed within watchdog window")
-			break
-		}
-		if s.now > s.cfg.MaxTicks {
-			s.diagnoseStuck("tick budget exhausted")
+		if !s.checkBudget() {
 			break
 		}
 		ev.fn()
 	}
-	res := s.result()
-	if s.stuck != nil {
-		return res, fmt.Errorf("cluster: %s run stuck: %s", s.cfg.Protocol, s.stuck)
+}
+
+// checkBudget runs the per-event liveness checks with s.now already
+// advanced; false means the run was diagnosed stuck and must stop. Both
+// engines call this on every popped event, so the watchdog semantics do
+// not depend on the engine.
+func (s *Sim) checkBudget() bool {
+	if s.now-s.lastProgress > s.cfg.WatchdogAfter {
+		s.diagnoseStuck("no epoch completed within watchdog window")
+		return false
 	}
-	return res, nil
+	if s.now > s.cfg.MaxTicks {
+		s.diagnoseStuck("tick budget exhausted")
+		return false
+	}
+	return true
 }
 
 // diagnoseStuck builds the watchdog report: the laggiest node, the

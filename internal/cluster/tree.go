@@ -8,20 +8,31 @@ import "fmt"
 // in; the root then starts a RELEASE(e) wave back down. No node handles
 // more than k+1 peers per epoch — the message-passing analog of
 // core.TreeBarrier removing the central hot spot.
+//
+// Like the central coordinator, a tree node accumulates at most one
+// epoch at a time: a child can combine ARRIVE(e) upward only after
+// releasing e-1, which requires this node to have received (and
+// forwarded down) RELEASE(e-1) first. Arrival state is a fixed
+// slot-stamp array (slot 0 = self, slot j = children[j-1];
+// seenEpoch[slot] == e marks that subtree's arrival for e), kept valid
+// after the upward forward so duplicate child ARRIVEs stay idempotent
+// until the release wave passes — no allocation on the receive path.
 type treeProto struct {
 	n        *node
 	parent   int // -1 at the root
 	children []int
 	need     int // self + direct children
-	// got: epoch -> the distinct subtree arrivals seen (own id plus
-	// child ids). Kept until the epoch releases so duplicate ARRIVEs
-	// stay idempotent even after the subtree forwarded upward.
-	got map[int64]map[int]bool
+	// seenEpoch[slot] is the last epoch that slot's arrival was counted
+	// for (-1 initially); count the distinct subtree arrivals for epoch
+	// (-1 when none is accumulating).
+	seenEpoch []int64
+	count     int
+	epoch     int64
 }
 
 func newTree(n *node) *treeProto {
 	k := n.s.cfg.TreeArity
-	t := &treeProto{n: n, parent: -1, got: make(map[int64]map[int]bool)}
+	t := &treeProto{n: n, parent: -1, epoch: -1}
 	if n.id > 0 {
 		t.parent = (n.id - 1) / k
 	}
@@ -29,28 +40,47 @@ func newTree(n *node) *treeProto {
 		t.children = append(t.children, c)
 	}
 	t.need = 1 + len(t.children)
+	t.seenEpoch = make([]int64, t.need)
+	for i := range t.seenEpoch {
+		t.seenEpoch[i] = -1
+	}
 	return t
+}
+
+// slotOf maps an arrival's sender to its stamp slot (the fan-in is
+// TreeArity+1 wide, so the scan is constant and tiny).
+func (t *treeProto) slotOf(from int) int {
+	if from == t.n.id {
+		return 0
+	}
+	for j, c := range t.children {
+		if c == from {
+			return j + 1
+		}
+	}
+	panic(fmt.Sprintf("cluster: tree node %d got arrival from non-child %d", t.n.id, from))
 }
 
 func (t *treeProto) arrive(e int64) { t.record(t.n.id, e) }
 
-// record notes one subtree arrival; when the set fills, the subtree is
-// complete: the root starts the release wave, everyone else combines
+// record notes one subtree arrival; when the count fills, the subtree
+// is complete: the root starts the release wave, everyone else combines
 // upward.
 func (t *treeProto) record(from int, e int64) {
 	if e < t.n.releasedThrough {
 		return // stale retransmission of an already-completed epoch
 	}
-	set := t.got[e]
-	if set == nil {
-		set = make(map[int]bool)
-		t.got[e] = set
+	if e != t.epoch {
+		t.epoch = e
+		t.count = 0
 	}
-	if set[from] {
-		return
+	slot := t.slotOf(from)
+	if t.seenEpoch[slot] == e {
+		return // duplicate
 	}
-	set[from] = true
-	if len(set) < t.need {
+	t.seenEpoch[slot] = e
+	t.count++
+	if t.count < t.need {
 		return
 	}
 	if t.parent < 0 {
@@ -61,8 +91,8 @@ func (t *treeProto) record(from int, e int64) {
 }
 
 // down releases epoch e locally and forwards the release wave to the
-// children; the per-epoch arrival state is pruned here, after which the
-// releasedThrough guard classifies any late duplicate as stale.
+// children; afterwards the releasedThrough guard classifies any late
+// duplicate arrival for e as stale.
 func (t *treeProto) down(e int64) {
 	if e < t.n.releasedThrough {
 		return // duplicate release
@@ -70,7 +100,10 @@ func (t *treeProto) down(e int64) {
 	for _, c := range t.children {
 		t.n.out.send(Message{Kind: MsgRelease, To: c, Epoch: e})
 	}
-	delete(t.got, e)
+	if t.epoch == e {
+		t.epoch = -1
+		t.count = 0
+	}
 	t.n.release(e)
 }
 
@@ -85,8 +118,8 @@ func (t *treeProto) handle(m Message) {
 
 func (t *treeProto) pendingLine() string {
 	out := fmt.Sprintf("tree(parent=%d, children=%d)", t.parent, len(t.children))
-	for _, e := range sortedEpochs(t.got) {
-		out += fmt.Sprintf(" e=%d:%d/%d", e, len(t.got[e]), t.need)
+	if t.epoch >= 0 {
+		out += fmt.Sprintf(" e=%d:%d/%d", t.epoch, t.count, t.need)
 	}
 	return out
 }

@@ -1,5 +1,5 @@
 // Package exp regenerates the paper's evaluation: one function per table
-// or figure (see DESIGN.md's per-experiment index, E1..E15). Each
+// or figure (see DESIGN.md's per-experiment index, E1..E16). Each
 // experiment returns a trace.Table whose rows are the series the paper
 // reports; EXPERIMENTS.md records the expected shapes next to the paper's
 // numbers.
@@ -67,6 +67,7 @@ func All() []Experiment {
 		{"E13", "Procedure calls from barrier regions (Section 9 future work, extension)", E13ProcedureCalls},
 		{"E14", "Per-phase stall attribution (observability extension)", E14PhaseAttribution},
 		{"E15", "Cluster sync cost vs. region size over a lossy network (extension)", E15ClusterSync},
+		{"E16", "Cluster barrier scaling to 4096 nodes (extension)", E16ClusterScaling},
 	}
 }
 

@@ -203,7 +203,18 @@ func (r *Recorder) EventKindf(cycle int64, p int, kind EventKind, format string,
 	if r == nil {
 		return
 	}
-	r.events = append(r.events, Event{Cycle: cycle, Proc: p, Kind: kind, What: fmt.Sprintf(format, args...)})
+	r.EventKind(cycle, p, kind, fmt.Sprintf(format, args...))
+}
+
+// EventKind records a pre-rendered discrete event tagged with an
+// EventKind. Callers that already hold the final text use this to avoid
+// a second trip through fmt (see cluster.Sim.logf, which feeds the same
+// string to its event log and the recorder).
+func (r *Recorder) EventKind(cycle int64, p int, kind EventKind, what string) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{Cycle: cycle, Proc: p, Kind: kind, What: what})
 }
 
 // MaxCycle returns the highest cycle marked so far (0 when nothing has
