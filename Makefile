@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-smoke bench-gate fmt-check
+.PHONY: verify build vet test race bench bench-smoke bench-gate fmt-check check
 
-verify: build vet race fmt-check
+verify: build vet race check fmt-check
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,16 @@ bench-smoke:
 bench-gate:
 	BENCH_GATE=1 $(GO) test -run TestFastForwardSpeedupGate -count=1 -v ./internal/machine
 	BENCH_GATE=1 $(GO) test -run TestClusterEngineSpeedupGate -count=1 -v ./internal/cluster
+
+# Model checking + weak-memory stress, CI-sized (<60s): exhaustively
+# verify every cluster protocol at n<=3 under the full adversary
+# (reorder, duplicate, drop) including the mutation negative tests that
+# prove the checker has teeth, then hammer the runtime barriers with
+# randomized schedules under the race detector. The wide n=4 sweep and
+# full-length stress runs live behind the non-short suite (`make race`).
+check:
+	$(GO) test -short -count=1 ./internal/check
+	$(GO) test -race -short -count=1 -run 'TestStress|TestRaceDynamic' ./internal/core
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

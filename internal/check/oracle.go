@@ -1,0 +1,187 @@
+package check
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the checker's second oracle: closed-form release times
+// for each protocol on a clean network (fixed latency, no jitter, no
+// drops, no duplicates). Where check.Run proves safety over every
+// adversarial schedule, these recurrences pin the simulator's *timing*:
+// given the arrival timestamps a run produced, they predict the release
+// timestamp of every node of every epoch exactly, and exhaustive
+// enumeration of work-jitter vectors turns them into exact stall
+// statistics that experiment E17 cross-checks against simulated runs.
+//
+// On a clean network the reliability layer is invisible (the RTO is
+// derived strictly above the round trip, so nothing retransmits) and
+// each epoch's releases depend only on that epoch's arrivals:
+//
+//   - central: the coordinator completes at T = max(a[0], max_{j!=0}
+//     a[j]+L) and releases itself then; everyone else at T+L.
+//   - tree: subtree i completes at u[i] = max(a[i], max_c u[c]+L) over
+//     its children c; the root releases at u[0] and the wave reaches
+//     node i at u[0] + L*depth(i).
+//   - dissemination: g[i][0] = a[i]; entering round r+1 requires
+//     finishing round r, which requires the round-r message from peer
+//     (i-2^r) mod n, sent when that peer entered round r:
+//     g[i][r+1] = max(g[i][r], g[(i-2^r) mod n][r] + L); node i
+//     releases at g[i][rounds].
+
+// ReleaseTimes returns the exact release timestamp of every node for
+// one epoch, given each node's arrival timestamp, on a clean network
+// with one-way latency L. arity is the combining-tree fanout (ignored
+// by the other protocols).
+func ReleaseTimes(protocol string, arity int, latency int64, arrive []int64) ([]int64, error) {
+	n := len(arrive)
+	if n == 0 {
+		return nil, fmt.Errorf("check: no arrival times")
+	}
+	if latency < 1 {
+		return nil, fmt.Errorf("check: latency %d < 1", latency)
+	}
+	if arity < 2 {
+		arity = 2
+	}
+	L := latency
+	rel := make([]int64, n)
+	switch protocol {
+	case "central":
+		T := arrive[0]
+		for j := 1; j < n; j++ {
+			if t := arrive[j] + L; t > T {
+				T = t
+			}
+		}
+		rel[0] = T
+		for j := 1; j < n; j++ {
+			rel[j] = T + L
+		}
+	case "tree":
+		// Children have larger ids than their parent, so ascending id
+		// order is a topological order; compute subtree-completion
+		// bottom-up, then chain the release wave top-down.
+		up := make([]int64, n)
+		for i := n - 1; i >= 0; i-- {
+			up[i] = arrive[i]
+			for c := arity*i + 1; c <= arity*i+arity && c < n; c++ {
+				if t := up[c] + L; t > up[i] {
+					up[i] = t
+				}
+			}
+		}
+		rel[0] = up[0]
+		for i := 1; i < n; i++ {
+			rel[i] = rel[(i-1)/arity] + L
+		}
+	case "dissemination":
+		g := append([]int64(nil), arrive...)
+		next := make([]int64, n)
+		for span := 1; span < n; span *= 2 {
+			for i := 0; i < n; i++ {
+				peer := (i - span + n) % n
+				next[i] = g[i]
+				if t := g[peer] + L; t > next[i] {
+					next[i] = t
+				}
+			}
+			g, next = next, g
+		}
+		copy(rel, g)
+	default:
+		return nil, fmt.Errorf("check: unknown protocol %q", protocol)
+	}
+	return rel, nil
+}
+
+// OracleReleases applies ReleaseTimes to every epoch of a simulator
+// result's arrival matrix (indexed [node][epoch]) and returns the
+// predicted release matrix in the same shape.
+func OracleReleases(protocol string, arity int, latency int64, arriveAt [][]int64) ([][]int64, error) {
+	n := len(arriveAt)
+	if n == 0 {
+		return nil, fmt.Errorf("check: empty arrival matrix")
+	}
+	epochs := len(arriveAt[0])
+	out := make([][]int64, n)
+	for i := range out {
+		if len(arriveAt[i]) != epochs {
+			return nil, fmt.Errorf("check: ragged arrival matrix")
+		}
+		out[i] = make([]int64, epochs)
+	}
+	col := make([]int64, n)
+	for e := 0; e < epochs; e++ {
+		for i := 0; i < n; i++ {
+			col[i] = arriveAt[i][e]
+		}
+		rel, err := ReleaseTimes(protocol, arity, latency, col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			out[i][e] = rel[i]
+		}
+	}
+	return out, nil
+}
+
+// StallMoments exhaustively enumerates every work-jitter vector in
+// {0..jitter}^nodes and returns the exact mean and standard deviation
+// of the total per-epoch stall (sum over nodes of release - arrival)
+// for the protocol on a clean network with a zero-length barrier
+// region. The enumeration has (jitter+1)^nodes cases; keep nodes <= 6
+// and jitter small.
+//
+// This is the statistical oracle E17 compares simulated runs against:
+// with Region = 0 every node's stall is exactly release - arrival, and
+// the stall distribution depends only on the jitter vector (a common
+// work offset shifts all arrivals and all releases equally).
+func StallMoments(protocol string, arity int, latency int64, nodes int, jitter int64) (mean, stdev float64, err error) {
+	if nodes < 1 {
+		return 0, 0, fmt.Errorf("check: need >= 1 node")
+	}
+	if jitter < 0 {
+		return 0, 0, fmt.Errorf("check: negative jitter")
+	}
+	cases := math.Pow(float64(jitter+1), float64(nodes))
+	if cases > 1<<22 {
+		return 0, 0, fmt.Errorf("check: %d^%d jitter vectors is too many to enumerate", jitter+1, nodes)
+	}
+	vec := make([]int64, nodes)
+	var sum, sumSq float64
+	count := 0
+	for {
+		rel, rerr := ReleaseTimes(protocol, arity, latency, vec)
+		if rerr != nil {
+			return 0, 0, rerr
+		}
+		var stall int64
+		for i := range rel {
+			stall += rel[i] - vec[i]
+		}
+		s := float64(stall)
+		sum += s
+		sumSq += s * s
+		count++
+		// Odometer increment over {0..jitter}^nodes.
+		i := 0
+		for ; i < nodes; i++ {
+			vec[i]++
+			if vec[i] <= jitter {
+				break
+			}
+			vec[i] = 0
+		}
+		if i == nodes {
+			break
+		}
+	}
+	mean = sum / float64(count)
+	variance := sumSq/float64(count) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, math.Sqrt(variance), nil
+}

@@ -21,7 +21,7 @@ const coordinatorID = 0
 // the stamps make duplicate ARRIVEs idempotent without allocating on
 // the receive path.
 type centralProto struct {
-	n *node
+	env ProtoEnv
 	// Coordinator only: seenEpoch[i] is the last epoch node i's arrival
 	// was counted for (-1 initially), count the distinct arrivals for
 	// epoch, and epoch the one accumulating epoch (-1 when none).
@@ -30,10 +30,10 @@ type centralProto struct {
 	epoch     int64
 }
 
-func newCentral(n *node) *centralProto {
-	c := &centralProto{n: n, epoch: -1}
-	if n.id == coordinatorID {
-		c.seenEpoch = make([]int64, n.s.cfg.Nodes)
+func newCentral(env ProtoEnv) *centralProto {
+	c := &centralProto{env: env, epoch: -1}
+	if env.NodeID() == coordinatorID {
+		c.seenEpoch = make([]int64, env.Nodes())
 		for i := range c.seenEpoch {
 			c.seenEpoch[i] = -1
 		}
@@ -41,18 +41,18 @@ func newCentral(n *node) *centralProto {
 	return c
 }
 
-func (c *centralProto) arrive(e int64) {
-	if c.n.id == coordinatorID {
+func (c *centralProto) Arrive(e int64) {
+	if c.env.NodeID() == coordinatorID {
 		c.record(coordinatorID, e)
 		return
 	}
-	c.n.out.send(Message{Kind: MsgArrive, To: coordinatorID, Epoch: e})
+	c.env.Send(Message{Kind: MsgArrive, To: coordinatorID, Epoch: e})
 }
 
 // record notes one distinct arrival at the coordinator and completes
 // the epoch when the count is full.
 func (c *centralProto) record(from int, e int64) {
-	if e < c.n.releasedThrough {
+	if e < c.env.ReleasedThrough() {
 		return // stale retransmission of an already-completed epoch
 	}
 	if e != c.epoch {
@@ -64,35 +64,52 @@ func (c *centralProto) record(from int, e int64) {
 	}
 	c.seenEpoch[from] = e
 	c.count++
-	if c.count < c.n.s.cfg.Nodes {
+	if c.count < c.env.Nodes() {
 		return
 	}
 	c.epoch = -1
 	c.count = 0
-	for i := 0; i < c.n.s.cfg.Nodes; i++ {
+	for i := 0; i < c.env.Nodes(); i++ {
 		if i != coordinatorID {
-			c.n.out.send(Message{Kind: MsgRelease, To: i, Epoch: e})
+			c.env.Send(Message{Kind: MsgRelease, To: i, Epoch: e})
 		}
 	}
-	c.n.release(e)
+	c.env.Release(e)
 }
 
-func (c *centralProto) handle(m Message) {
+func (c *centralProto) Handle(m Message) {
 	switch m.Kind {
 	case MsgArrive:
 		c.record(m.From, m.Epoch)
 	case MsgRelease:
-		c.n.release(m.Epoch) // idempotent: stale duplicates are dropped there
+		c.env.Release(m.Epoch) // idempotent: stale duplicates are dropped there
 	}
 }
 
-func (c *centralProto) pendingLine() string {
-	if c.n.id != coordinatorID {
-		return fmt.Sprintf("awaiting release for epoch %d", c.n.releasedThrough)
+func (c *centralProto) PendingLine() string {
+	if c.env.NodeID() != coordinatorID {
+		return fmt.Sprintf("awaiting release for epoch %d", c.env.ReleasedThrough())
 	}
 	out := "coordinator"
 	if c.epoch >= 0 {
-		out += fmt.Sprintf(" e=%d:%d/%d", c.epoch, c.count, c.n.s.cfg.Nodes)
+		out += fmt.Sprintf(" e=%d:%d/%d", c.epoch, c.count, c.env.Nodes())
 	}
 	return out
+}
+
+func (c *centralProto) CloneFor(env ProtoEnv) Proto {
+	cp := &centralProto{env: env, count: c.count, epoch: c.epoch}
+	if c.seenEpoch != nil {
+		cp.seenEpoch = append([]int64(nil), c.seenEpoch...)
+	}
+	return cp
+}
+
+func (c *centralProto) AppendState(buf []byte) []byte {
+	buf = appendState64(buf, int64(c.count))
+	buf = appendState64(buf, c.epoch)
+	for _, e := range c.seenEpoch {
+		buf = appendState64(buf, e)
+	}
+	return buf
 }

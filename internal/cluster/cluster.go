@@ -208,19 +208,27 @@ func (t *tickBudget) mul(a, b int64) int64 {
 	return a * b
 }
 
-// StuckReport describes a watchdog firing: which node is furthest
-// behind, in which epoch, and one state line per node.
+// StuckReport describes a watchdog firing: what tripped it, which node
+// is furthest behind, in which epoch, and one state line per node.
 type StuckReport struct {
-	At     int64    // sim time of the diagnosis
-	Node   int      // laggiest node
-	Epoch  int64    // the epoch it has not completed
+	At    int64 // sim time of the diagnosis
+	Node  int   // laggiest node
+	Epoch int64 // the epoch it has not completed
+
+	// Why names the liveness check that fired: "event queue drained"
+	// (nothing left to simulate but nodes unfinished — a protocol that
+	// stopped sending), "no epoch completed within watchdog window"
+	// (events still flowing but no progress), or "tick budget
+	// exhausted".
+	Why string
+
 	States []string // one line per node
 }
 
 // String renders the report for logs and errors.
 func (r *StuckReport) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "stuck at t=%d: node %d has not completed epoch %d\n", r.At, r.Node, r.Epoch)
+	fmt.Fprintf(&b, "stuck at t=%d (%s): node %d has not completed epoch %d\n", r.At, r.Why, r.Node, r.Epoch)
 	for _, s := range r.States {
 		b.WriteString("  ")
 		b.WriteString(s)

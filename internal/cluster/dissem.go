@@ -20,7 +20,7 @@ import "fmt"
 // round bitmasks with epoch stamps (no per-epoch maps, no allocation
 // on the receive path).
 type dissProto struct {
-	n      *node
+	env    ProtoEnv
 	rounds int
 	// gotEpoch[e&1] stamps which epoch that parity slot buffers (-1 =
 	// empty); gotMask[e&1] has bit r set when ROUND(e, r) was received.
@@ -32,17 +32,17 @@ type dissProto struct {
 	curRound int
 }
 
-func newDissemination(n *node) *dissProto {
+func newDissemination(env ProtoEnv) *dissProto {
 	rounds := 0
-	for span := 1; span < n.s.cfg.Nodes; span *= 2 {
+	for span := 1; span < env.Nodes(); span *= 2 {
 		rounds++
 	}
-	d := &dissProto{n: n, rounds: rounds, curEpoch: -1}
+	d := &dissProto{env: env, rounds: rounds, curEpoch: -1}
 	d.gotEpoch[0], d.gotEpoch[1] = -1, -1
 	return d
 }
 
-func (d *dissProto) arrive(e int64) {
+func (d *dissProto) Arrive(e int64) {
 	d.curEpoch = e
 	d.curRound = 0
 	if d.rounds > 0 {
@@ -52,8 +52,8 @@ func (d *dissProto) arrive(e int64) {
 }
 
 func (d *dissProto) sendRound(e int64, r int) {
-	peer := (d.n.id + (1 << r)) % d.n.s.cfg.Nodes
-	d.n.out.send(Message{Kind: MsgRound, To: peer, Epoch: e, Round: r})
+	peer := (d.env.NodeID() + (1 << r)) % d.env.Nodes()
+	d.env.Send(Message{Kind: MsgRound, To: peer, Epoch: e, Round: r})
 }
 
 // advance consumes buffered round receipts: each completed round enters
@@ -75,15 +75,15 @@ func (d *dissProto) advance(e int64) {
 		d.gotEpoch[slot] = -1
 		d.gotMask[slot] = 0
 		d.curEpoch = -1
-		d.n.release(e)
+		d.env.Release(e)
 	}
 }
 
-func (d *dissProto) handle(m Message) {
+func (d *dissProto) Handle(m Message) {
 	if m.Kind != MsgRound {
 		return
 	}
-	if m.Epoch < d.n.releasedThrough {
+	if m.Epoch < d.env.ReleasedThrough() {
 		return // stale retransmission of an already-completed epoch
 	}
 	slot := m.Epoch & 1
@@ -101,10 +101,26 @@ func (d *dissProto) handle(m Message) {
 	d.advance(m.Epoch)
 }
 
-func (d *dissProto) pendingLine() string {
+func (d *dissProto) PendingLine() string {
 	out := fmt.Sprintf("dissemination(rounds=%d)", d.rounds)
 	if d.curEpoch >= 0 {
 		out += fmt.Sprintf(" e=%d:round %d/%d", d.curEpoch, d.curRound, d.rounds)
 	}
 	return out
+}
+
+func (d *dissProto) CloneFor(env ProtoEnv) Proto {
+	cp := *d
+	cp.env = env
+	return &cp
+}
+
+func (d *dissProto) AppendState(buf []byte) []byte {
+	buf = appendState64(buf, d.gotEpoch[0])
+	buf = appendState64(buf, d.gotEpoch[1])
+	buf = appendState64(buf, int64(d.gotMask[0]))
+	buf = appendState64(buf, int64(d.gotMask[1]))
+	buf = appendState64(buf, d.curEpoch)
+	buf = appendState64(buf, int64(d.curRound))
+	return buf
 }

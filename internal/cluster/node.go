@@ -18,7 +18,7 @@ type node struct {
 	s     *Sim
 	rng   *rng // work-jitter draws
 	out   *outbox
-	proto proto
+	proto Proto
 
 	epoch           int64 // epoch currently being executed
 	releasedThrough int64 // epochs < this have completed locally
@@ -31,16 +31,12 @@ type node struct {
 	releaseAt []int64 // per-epoch release (Wait-satisfiable) timestamps
 }
 
-// proto is the per-node protocol state machine. arrive is invoked by
-// the node when it issues Arrive(e); handle receives every delivered
-// non-ack message. Implementations call node.release(e) when epoch e
-// completes locally.
-type proto interface {
-	arrive(e int64)
-	handle(m Message)
-	// pendingLine renders the in-flight epoch state for stuck reports.
-	pendingLine() string
-}
+// newProtoHook, when non-nil, replaces NewProto during node
+// construction. White-box tests use it to inject broken protocol
+// machines — e.g. one that never sends — to exercise failure paths
+// (watchdog diagnosis on a drained event queue) the real protocols
+// cannot reach.
+var newProtoHook func(protocol string, env ProtoEnv) Proto
 
 func newNode(s *Sim, id int) *node {
 	n := &node{
@@ -51,19 +47,29 @@ func newNode(s *Sim, id int) *node {
 		releaseAt: make([]int64, s.cfg.Epochs),
 	}
 	n.out = newOutbox(n)
-	switch s.cfg.Protocol {
-	case "central":
-		n.proto = newCentral(n)
-	case "tree":
-		n.proto = newTree(n)
-	case "dissemination":
-		n.proto = newDissemination(n)
-	default:
-		// withDefaults validated the name; reaching here is a bug.
-		panic(fmt.Sprintf("cluster: unregistered protocol %q", s.cfg.Protocol))
+	if newProtoHook != nil {
+		n.proto = newProtoHook(s.cfg.Protocol, n)
+		return n
 	}
+	p, err := NewProto(s.cfg.Protocol, n)
+	if err != nil {
+		// withDefaults validated the name; reaching here is a bug.
+		panic(err)
+	}
+	n.proto = p
 	return n
 }
+
+// node implements ProtoEnv: the protocol machines act on the simulation
+// through these methods (and through them alone), which is what lets
+// internal/check run the same machines under its adversarial scheduler.
+
+func (n *node) NodeID() int            { return n.id }
+func (n *node) Nodes() int             { return n.s.cfg.Nodes }
+func (n *node) TreeArity() int         { return n.s.cfg.TreeArity }
+func (n *node) ReleasedThrough() int64 { return n.releasedThrough }
+func (n *node) Send(m Message)         { n.out.send(m) }
+func (n *node) Release(e int64)        { n.release(e) }
 
 // startEpoch schedules epoch e's non-barrier work, or retires the node
 // when every epoch is done.
@@ -88,7 +94,7 @@ func (n *node) startEpoch(e int64) {
 // protocol start synchronizing, and begin the barrier region.
 func (n *node) workDone(e int64) {
 	n.arriveAt[e] = n.s.now
-	n.proto.arrive(e)
+	n.proto.Arrive(e)
 	n.s.schedRegion(n, e, n.s.cfg.Region)
 }
 
@@ -141,7 +147,7 @@ func (n *node) handle(m Message) {
 	}
 	n.s.acks++
 	n.s.net.send(Message{Kind: MsgAck, From: n.id, To: m.From, Epoch: m.Epoch, Seq: m.Seq})
-	n.proto.handle(m)
+	n.proto.Handle(m)
 }
 
 // markRange paints [from, to) on the node's trace lane; a nil recorder
@@ -163,10 +169,10 @@ func (n *node) stateLine() string {
 		return "done"
 	case n.blocked:
 		return fmt.Sprintf("blocked in Wait(epoch %d) since t=%d; unacked=%d; %s",
-			n.epoch, n.blockedAt, n.out.live, n.proto.pendingLine())
+			n.epoch, n.blockedAt, n.out.live, n.proto.PendingLine())
 	default:
 		return fmt.Sprintf("executing epoch %d (released through %d); unacked=%d; %s",
-			n.epoch, n.releasedThrough, n.out.live, n.proto.pendingLine())
+			n.epoch, n.releasedThrough, n.out.live, n.proto.PendingLine())
 	}
 }
 

@@ -233,7 +233,7 @@ func (s *Sim) checkBudget() bool {
 // epoch it is wedged in, and a state line per node, all rendered
 // through the trace layer as EvTimeout events.
 func (s *Sim) diagnoseStuck(why string) {
-	rep := &StuckReport{At: s.now, Node: -1}
+	rep := &StuckReport{At: s.now, Node: -1, Why: why}
 	minReleased := int64(-1)
 	for _, n := range s.nodes {
 		if !n.done && (rep.Node < 0 || n.releasedThrough < minReleased) {

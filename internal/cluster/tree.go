@@ -18,7 +18,7 @@ import "fmt"
 // after the upward forward so duplicate child ARRIVEs stay idempotent
 // until the release wave passes — no allocation on the receive path.
 type treeProto struct {
-	n        *node
+	env      ProtoEnv
 	parent   int // -1 at the root
 	children []int
 	need     int // self + direct children
@@ -30,13 +30,14 @@ type treeProto struct {
 	epoch     int64
 }
 
-func newTree(n *node) *treeProto {
-	k := n.s.cfg.TreeArity
-	t := &treeProto{n: n, parent: -1, epoch: -1}
-	if n.id > 0 {
-		t.parent = (n.id - 1) / k
+func newTree(env ProtoEnv) *treeProto {
+	k := env.TreeArity()
+	id := env.NodeID()
+	t := &treeProto{env: env, parent: -1, epoch: -1}
+	if id > 0 {
+		t.parent = (id - 1) / k
 	}
-	for c := k*n.id + 1; c <= k*n.id+k && c < n.s.cfg.Nodes; c++ {
+	for c := k*id + 1; c <= k*id+k && c < env.Nodes(); c++ {
 		t.children = append(t.children, c)
 	}
 	t.need = 1 + len(t.children)
@@ -50,7 +51,7 @@ func newTree(n *node) *treeProto {
 // slotOf maps an arrival's sender to its stamp slot (the fan-in is
 // TreeArity+1 wide, so the scan is constant and tiny).
 func (t *treeProto) slotOf(from int) int {
-	if from == t.n.id {
+	if from == t.env.NodeID() {
 		return 0
 	}
 	for j, c := range t.children {
@@ -58,16 +59,16 @@ func (t *treeProto) slotOf(from int) int {
 			return j + 1
 		}
 	}
-	panic(fmt.Sprintf("cluster: tree node %d got arrival from non-child %d", t.n.id, from))
+	panic(fmt.Sprintf("cluster: tree node %d got arrival from non-child %d", t.env.NodeID(), from))
 }
 
-func (t *treeProto) arrive(e int64) { t.record(t.n.id, e) }
+func (t *treeProto) Arrive(e int64) { t.record(t.env.NodeID(), e) }
 
 // record notes one subtree arrival; when the count fills, the subtree
 // is complete: the root starts the release wave, everyone else combines
 // upward.
 func (t *treeProto) record(from int, e int64) {
-	if e < t.n.releasedThrough {
+	if e < t.env.ReleasedThrough() {
 		return // stale retransmission of an already-completed epoch
 	}
 	if e != t.epoch {
@@ -87,27 +88,27 @@ func (t *treeProto) record(from int, e int64) {
 		t.down(e)
 		return
 	}
-	t.n.out.send(Message{Kind: MsgArrive, To: t.parent, Epoch: e})
+	t.env.Send(Message{Kind: MsgArrive, To: t.parent, Epoch: e})
 }
 
 // down releases epoch e locally and forwards the release wave to the
 // children; afterwards the releasedThrough guard classifies any late
 // duplicate arrival for e as stale.
 func (t *treeProto) down(e int64) {
-	if e < t.n.releasedThrough {
+	if e < t.env.ReleasedThrough() {
 		return // duplicate release
 	}
 	for _, c := range t.children {
-		t.n.out.send(Message{Kind: MsgRelease, To: c, Epoch: e})
+		t.env.Send(Message{Kind: MsgRelease, To: c, Epoch: e})
 	}
 	if t.epoch == e {
 		t.epoch = -1
 		t.count = 0
 	}
-	t.n.release(e)
+	t.env.Release(e)
 }
 
-func (t *treeProto) handle(m Message) {
+func (t *treeProto) Handle(m Message) {
 	switch m.Kind {
 	case MsgArrive:
 		t.record(m.From, m.Epoch)
@@ -116,10 +117,28 @@ func (t *treeProto) handle(m Message) {
 	}
 }
 
-func (t *treeProto) pendingLine() string {
+func (t *treeProto) PendingLine() string {
 	out := fmt.Sprintf("tree(parent=%d, children=%d)", t.parent, len(t.children))
 	if t.epoch >= 0 {
 		out += fmt.Sprintf(" e=%d:%d/%d", t.epoch, t.count, t.need)
 	}
 	return out
+}
+
+func (t *treeProto) CloneFor(env ProtoEnv) Proto {
+	cp := &treeProto{
+		env: env, parent: t.parent, children: t.children, need: t.need,
+		count: t.count, epoch: t.epoch,
+	}
+	cp.seenEpoch = append([]int64(nil), t.seenEpoch...)
+	return cp
+}
+
+func (t *treeProto) AppendState(buf []byte) []byte {
+	buf = appendState64(buf, int64(t.count))
+	buf = appendState64(buf, t.epoch)
+	for _, e := range t.seenEpoch {
+		buf = appendState64(buf, e)
+	}
+	return buf
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sync/atomic"
+	"sync"
 )
 
 // DynamicBarrier is a split-phase fuzzy barrier whose membership can
@@ -20,11 +20,33 @@ import (
 // otherwise the remaining members deadlock (exactly like a halted
 // processor whose mask bit is still set in the hardware).
 type DynamicBarrier struct {
-	// state packs the phase arrival count (high 32 bits) and the current
-	// membership (low 32 bits); updates are CAS loops so that the
-	// "last arrival completes the phase and resets the count" transition
-	// is atomic against concurrent joins and leaves.
-	state atomic.Uint64
+	// mu serializes every membership/arrival transition *and* the phase
+	// publication it may trigger. An earlier implementation CAS-packed
+	// (count, members) into one word, but two transitions are
+	// fundamentally multi-word and the gaps were real bugs caught by the
+	// stress harness (see TestRaceDynamicRegisterDuringCompletion):
+	//
+	//   - the completing arrival's count reset and the epoch publication
+	//     were separate steps, so a stream that Registered and Arrived
+	//     in the gap read the previous phase's epoch into its ticket and
+	//     its Wait returned before its own phase completed (an early
+	//     release, the exact property internal/check verifies for the
+	//     cluster protocols);
+	//   - Register's drained-barrier check could interleave with the
+	//     final ArriveAndLeave's drain transition, making the
+	//     join-vs-drain outcome (and the resulting panic) depend on the
+	//     interleaving of two non-atomic steps.
+	//
+	// A mutex makes each transition (including its epoch read or
+	// publish) atomic. The lock order is mu -> phaseWaiter.mu, taken
+	// only on the publishing path; Wait never holds mu, so the
+	// spin-then-block slow path is unchanged. Arrival throughput gives
+	// up the lock-free CAS loop, which is the right trade for the
+	// membership-churn barrier — the fixed-membership hot paths
+	// (FuzzyBarrier, TreeBarrier) remain lock-free.
+	mu      sync.Mutex
+	count   uint32 // arrivals counted toward the current phase
+	members uint32 // current membership; 0 = drained
 
 	w phaseWaiter
 
@@ -34,27 +56,22 @@ type DynamicBarrier struct {
 	stats RuntimeStats
 }
 
-func packState(count, members uint32) uint64 { return uint64(count)<<32 | uint64(members) }
-
-func unpackState(s uint64) (count, members uint32) {
-	return uint32(s >> 32), uint32(s)
-}
-
 // NewDynamicBarrier creates a dynamic barrier with the given initial
 // membership (>= 1).
 func NewDynamicBarrier(initial int) *DynamicBarrier {
 	if initial < 1 {
 		panic(fmt.Sprintf("core: dynamic barrier initial membership %d < 1", initial))
 	}
-	b := &DynamicBarrier{}
-	b.state.Store(packState(0, uint32(initial)))
+	b := &DynamicBarrier{members: uint32(initial)}
 	b.w.init()
 	return b
 }
 
 // Members returns the current membership.
 func (b *DynamicBarrier) Members() int {
-	_, m := unpackState(b.state.Load())
+	b.mu.Lock()
+	m := b.members
+	b.mu.Unlock()
 	return int(m)
 }
 
@@ -71,8 +88,11 @@ func (b *DynamicBarrier) Stats() (syncs, arrivals, fastWaits, spinWaits, blocks,
 // wait-spin histogram.
 func (b *DynamicBarrier) StatsSnapshot() BarrierStats { return b.stats.Snapshot() }
 
-// complete publishes a finished phase.
+// complete publishes a finished phase. Called with mu held, so the
+// count reset, the epoch bump and the broadcast are one atomic
+// transition as seen by Register/Arrive/ArriveAndLeave.
 func (b *DynamicBarrier) complete() {
+	b.count = 0
 	b.stats.Syncs.Add(1)
 	b.w.publish()
 }
@@ -81,77 +101,69 @@ func (b *DynamicBarrier) complete() {
 // phase, so the phase now requires one more arrival — register from a
 // stream that is itself between Wait and Arrive (or before starting), the
 // same discipline as allocating a barrier when a stream is spawned.
+//
+// Registering on a drained barrier (membership reached zero) panics; the
+// check and the join are atomic, so racing Register against the final
+// ArriveAndLeave either joins before the drain (keeping the barrier
+// live) or observes the drained barrier — never a half-applied mix.
 func (b *DynamicBarrier) Register() {
-	for {
-		s := b.state.Load()
-		c, m := unpackState(s)
-		if m == 0 {
-			panic("core: Register on a drained dynamic barrier")
-		}
-		if b.state.CompareAndSwap(s, packState(c, m+1)) {
-			return
-		}
+	b.mu.Lock()
+	if b.members == 0 {
+		b.mu.Unlock()
+		panic("core: Register on a drained dynamic barrier")
 	}
+	b.members++
+	b.mu.Unlock()
 }
 
 // Arrive signals readiness for the current phase and returns the ticket
 // for Wait. If this arrival is the last outstanding one, the phase
-// completes.
+// completes. The ticket's epoch is read in the same critical section
+// that counts the arrival, so it names exactly the phase the arrival
+// was counted toward.
 func (b *DynamicBarrier) Arrive() Phase {
 	b.stats.Arrivals.Add(1)
-	e := b.w.epoch.Load()
-	for {
-		s := b.state.Load()
-		c, m := unpackState(s)
-		if m == 0 || c >= m {
-			panic(fmt.Sprintf("core: Arrive with %d arrivals of %d members (protocol violation)", c, m))
-		}
-		if c+1 == m {
-			if b.state.CompareAndSwap(s, packState(0, m)) {
-				b.complete()
-				return Phase{epoch: e}
-			}
-			continue
-		}
-		if b.state.CompareAndSwap(s, packState(c+1, m)) {
-			return Phase{epoch: e}
-		}
+	b.mu.Lock()
+	if b.members == 0 || b.count >= b.members {
+		c, m := b.count, b.members
+		b.mu.Unlock()
+		panic(fmt.Sprintf("core: Arrive with %d arrivals of %d members (protocol violation)", c, m))
 	}
+	e := b.w.epoch.Load()
+	if b.count+1 == b.members {
+		b.complete()
+	} else {
+		b.count++
+	}
+	b.mu.Unlock()
+	return Phase{epoch: e}
 }
 
 // ArriveAndLeave deregisters the caller. Its pending arrival obligation
 // disappears with it: if everyone else has already arrived, the phase
-// completes. The caller must not Wait (it is no longer a member) and must
-// not use the barrier again without Register.
+// completes; if the caller was the last member, the barrier drains. The
+// caller must not Wait (it is no longer a member) and must not use the
+// barrier again without Register.
 func (b *DynamicBarrier) ArriveAndLeave() {
 	b.stats.Arrivals.Add(1)
-	for {
-		s := b.state.Load()
-		c, m := unpackState(s)
-		if m == 0 {
-			panic("core: ArriveAndLeave on a drained dynamic barrier")
-		}
-		if m == 1 {
-			// Last member out: the barrier is drained.
-			if b.state.CompareAndSwap(s, packState(0, 0)) {
-				b.complete()
-				return
-			}
-			continue
-		}
-		if c == m-1 {
-			// Everyone else already arrived; our departure completes the
-			// phase for them.
-			if b.state.CompareAndSwap(s, packState(0, m-1)) {
-				b.complete()
-				return
-			}
-			continue
-		}
-		if b.state.CompareAndSwap(s, packState(c, m-1)) {
-			return
-		}
+	b.mu.Lock()
+	switch {
+	case b.members == 0:
+		b.mu.Unlock()
+		panic("core: ArriveAndLeave on a drained dynamic barrier")
+	case b.members == 1:
+		// Last member out: the barrier is drained.
+		b.members = 0
+		b.complete()
+	case b.count == b.members-1:
+		// Everyone else already arrived; our departure completes the
+		// phase for them.
+		b.members--
+		b.complete()
+	default:
+		b.members--
 	}
+	b.mu.Unlock()
 }
 
 // TryWait reports whether the phase ticket's synchronization completed.

@@ -64,6 +64,65 @@ func TestRaceTreeBarrierStress(t *testing.T) {
 // TestRaceDynamicBarrierChurn stresses DynamicBarrier with membership
 // churn: a fixed core of members synchronizes for the whole run while
 // transient members register, ride along for a few phases, and leave.
+// TestRaceDynamicRegisterDuringCompletion pins the two races fixed by
+// serializing DynamicBarrier's transitions under one mutex (dynamic.go).
+// With the earlier CAS-packed state, a stream that Registered and
+// Arrived in the gap between the completing arrival's count reset and
+// its epoch publication got a ticket naming the *previous* phase: its
+// Wait returned immediately, its ArriveAndLeave then double-counted
+// into the phase it had really joined, and that phase completed without
+// a permanent member's arrival — observable here as a stale slot read
+// (and, under -race, as a data race on the slot). The tight
+// register/arrive/wait/leave churn below drives that window thousands
+// of times per run.
+func TestRaceDynamicRegisterDuringCompletion(t *testing.T) {
+	const fixed = 2
+	const phases = 400
+	const churners = 4
+	const rounds = 40
+	b := NewDynamicBarrier(fixed)
+	var slots [fixed]int64
+	var stale atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < fixed; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for p := int64(0); p < phases; p++ {
+				slots[id] = p + 1
+				ph := b.Arrive()
+				b.Wait(ph)
+				for j := 0; j < fixed; j++ {
+					if slots[j] < p+1 {
+						stale.Add(1)
+					}
+				}
+				b.Await() // close the read window before the next write
+			}
+			b.ArriveAndLeave()
+		}(w)
+	}
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				b.Register()
+				ph := b.Arrive()
+				b.Wait(ph)
+				b.ArriveAndLeave()
+			}
+		}()
+	}
+	wg.Wait()
+	if n := stale.Load(); n > 0 {
+		t.Errorf("%d stale slot reads: a phase completed without every member's arrival", n)
+	}
+	if got := b.Members(); got != 0 {
+		t.Errorf("members after drain = %d, want 0", got)
+	}
+}
+
 func TestRaceDynamicBarrierChurn(t *testing.T) {
 	const fixed = 4
 	const phases = 300

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Stress is a weak-memory stress harness for the runtime barriers: the
+// model-checking counterpart internal/check proves the *cluster*
+// protocols over every message interleaving; this harness hammers the
+// shared-memory barriers (FuzzyBarrier, TreeBarrier, DynamicBarrier)
+// under randomized arrive/wait/register/leave schedules and
+// runtime.Gosched storms, and cross-checks what cannot be enumerated:
+// the Go memory model's happens-before edges and the BarrierStats
+// accounting.
+//
+// Detection is two-layered:
+//
+//   - plain (non-atomic) per-worker slots are written before Arrive and
+//     read after Wait. A Wait that returns before every member arrived
+//     reads a slot concurrently with its writer — a value-level stale
+//     read counted in the report, and, under `go test -race`, a
+//     reported data race even when the values happen to agree.
+//   - the harness counts every Arrive and Wait it issues and checks
+//     the barrier's own counters against them: Arrivals and Waits must
+//     match exactly, Syncs must equal the final Epoch, the wait-spin
+//     histogram must sum to SpinWaits, and SpinIters must cover every
+//     spin-resolved Wait. Lost or double-counted updates on the stats
+//     hot path show up here.
+//
+// The Gosched storms matter: they force goroutine migration and
+// preemption at random points inside the arrive/region/wait window, so
+// publication races that need an ill-timed context switch (the class of
+// bug TestRaceDynamicRegisterDuringCompletion pins) actually get their
+// ill-timed context switches.
+
+// StressConfig configures one stress run.
+type StressConfig struct {
+	Barrier string // "fuzzy", "tree" or "dynamic"
+	Workers int    // permanent members (>= 1)
+	Phases  int    // synchronization episodes per permanent member
+
+	// Seed makes the per-worker schedule randomization reproducible;
+	// the interleavings themselves remain up to the scheduler.
+	Seed uint64
+
+	// SpinLimit is passed to the barrier; small values steer Waits onto
+	// the block path, 0 keeps DefaultSpinLimit.
+	SpinLimit int
+
+	TreeRadix int // tree only; 0 = DefaultTreeRadix
+
+	// Churners adds transient members (dynamic only): each repeatedly
+	// Registers, rides along for a few phases, and ArriveAndLeaves,
+	// exercising membership transitions against phase completion. The
+	// churn volume is bounded well below Phases so churners always
+	// drain while the permanent members still drive phases.
+	Churners int
+}
+
+// StressReport is the outcome of one stress run.
+type StressReport struct {
+	Config StressConfig
+	Stats  BarrierStats
+
+	Epoch      int64 // barrier epoch at the end of the run
+	StaleReads int64 // slot reads that observed a pre-arrival value
+	ChurnJoins int64 // completed Register..ArriveAndLeave rounds
+	Arrivals   int64 // Arrive/ArriveAndLeave calls the harness issued
+	Waits      int64 // Wait calls the harness issued
+	Violations []string
+}
+
+// Ok reports whether the run completed with no invariant violations.
+func (r *StressReport) Ok() bool { return len(r.Violations) == 0 }
+
+func (r *StressReport) violatef(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// String renders a one-line summary.
+func (r *StressReport) String() string {
+	verdict := "ok"
+	if !r.Ok() {
+		verdict = fmt.Sprintf("%d VIOLATIONS", len(r.Violations))
+	}
+	return fmt.Sprintf("%s workers=%d phases=%d churners=%d: epoch=%d arrivals=%d waits=%d churn-joins=%d — %s",
+		r.Config.Barrier, r.Config.Workers, r.Config.Phases, r.Config.Churners,
+		r.Epoch, r.Arrivals, r.Waits, r.ChurnJoins, verdict)
+}
+
+// stressRNG is a splitmix64 schedule randomizer, one per worker.
+type stressRNG uint64
+
+func (r *stressRNG) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// storm yields the processor a random number of times, at a random
+// fraction of call sites — the scheduling perturbation that shakes out
+// publication races.
+func (r *stressRNG) storm() {
+	if v := r.next(); v&3 == 0 {
+		for i := uint64(0); i < (v>>2)&31; i++ {
+			runtime.Gosched()
+		}
+	}
+}
+
+// stressBarrier is the slice of SplitBarrier the harness needs; it is
+// satisfied by FuzzyBarrier, TreeBarrier and DynamicBarrier alike.
+type stressBarrier interface {
+	Arrive() Phase
+	TryWait(Phase) bool
+	Wait(Phase)
+	Await()
+	Epoch() int64
+	StatsSnapshot() BarrierStats
+}
+
+// Stress runs the harness to completion and returns the report. The
+// error covers config problems only; property violations are collected
+// in the report so callers (tests, make check) can print them all.
+func Stress(cfg StressConfig) (*StressReport, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("core: stress needs >= 1 worker, got %d", cfg.Workers)
+	}
+	if cfg.Phases < 1 {
+		return nil, fmt.Errorf("core: stress needs >= 1 phase, got %d", cfg.Phases)
+	}
+	if cfg.Churners < 0 {
+		return nil, fmt.Errorf("core: negative churner count %d", cfg.Churners)
+	}
+
+	var b stressBarrier
+	var dyn *DynamicBarrier
+	switch cfg.Barrier {
+	case "fuzzy":
+		fb := NewFuzzyBarrier(cfg.Workers)
+		fb.SpinLimit = cfg.SpinLimit
+		b = fb
+	case "tree":
+		radix := cfg.TreeRadix
+		if radix == 0 {
+			radix = DefaultTreeRadix
+		}
+		tb := NewTreeBarrierRadix(cfg.Workers, radix)
+		tb.SpinLimit = cfg.SpinLimit
+		b = tb
+	case "dynamic":
+		dyn = NewDynamicBarrier(cfg.Workers)
+		dyn.SpinLimit = cfg.SpinLimit
+		b = dyn
+	default:
+		return nil, fmt.Errorf("core: unknown stress barrier %q", cfg.Barrier)
+	}
+	if cfg.Churners > 0 && dyn == nil {
+		return nil, fmt.Errorf("core: churners need the dynamic barrier, got %q", cfg.Barrier)
+	}
+	// Each churner round rides at most 4 phases and runs churnRounds
+	// times; keep the total well under the permanent members' 2*Phases
+	// phases so churners always drain against a live barrier.
+	churnRounds := cfg.Phases / 8
+	if cfg.Churners > 0 && churnRounds < 1 {
+		return nil, fmt.Errorf("core: churn needs >= 8 phases, got %d", cfg.Phases)
+	}
+
+	rep := &StressReport{Config: cfg}
+	slots := make([]int64, cfg.Workers+cfg.Churners) // plain slots: the race bait
+	var stale, arrivals, waits, churnJoins atomic.Int64
+
+	// wait drives the randomized wait flavor: a few TryWait polls (as a
+	// barrier region scheduling more work would), storms, then Wait.
+	wait := func(r *stressRNG, ph Phase) {
+		for i := uint64(0); i < r.next()&7; i++ {
+			b.TryWait(ph)
+			r.storm()
+		}
+		b.Wait(ph)
+		waits.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := stressRNG(mix64(cfg.Seed, uint64(id)+1))
+			for p := int64(0); p < int64(cfg.Phases); p++ {
+				r.storm()
+				slots[id] = p + 1 // plain write, ordered only by the barrier
+				r.storm()
+				ph := b.Arrive()
+				arrivals.Add(1)
+				wait(&r, ph)
+				// Every permanent member must have written p+1 before any
+				// Wait for this phase returned.
+				for j := 0; j < cfg.Workers; j++ {
+					if slots[j] < p+1 {
+						stale.Add(1)
+					}
+				}
+				// Close the read window with a second phase so the reads
+				// above are ordered before the next round of writes.
+				ph = b.Arrive()
+				arrivals.Add(1)
+				wait(&r, ph)
+			}
+			if dyn != nil {
+				dyn.ArriveAndLeave()
+				arrivals.Add(1)
+			}
+		}(w)
+	}
+	for c := 0; c < cfg.Churners; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := stressRNG(mix64(cfg.Seed, uint64(cfg.Workers+id)+0x5bd1))
+			for round := 0; round < churnRounds; round++ {
+				r.storm()
+				dyn.Register()
+				ride := 1 + r.next()&3
+				for p := uint64(0); p < ride; p++ {
+					slots[cfg.Workers+id]++ // plain write on the churner's own slot
+					ph := dyn.Arrive()
+					arrivals.Add(1)
+					wait(&r, ph)
+					// The permanent members write their slots before even
+					// phases and read them back before odd phases close the
+					// window; a churner may therefore only read the slots
+					// when its ticket names an even phase — which also says
+					// exactly which value each slot must already hold. (On
+					// odd phases the permanents' next writes are concurrent
+					// with us, so reading would be a real data race; the
+					// ticket epoch is trustworthy because Arrive reads it in
+					// the same critical section that counts the arrival —
+					// the exact guarantee the mutex rework of dynamic.go
+					// added.)
+					if ph.epoch%2 == 0 {
+						expect := ph.epoch/2 + 1
+						if max := int64(cfg.Phases); expect > max {
+							expect = max
+						}
+						for j := 0; j < cfg.Workers; j++ {
+							if slots[j] < expect {
+								stale.Add(1)
+							}
+						}
+					}
+				}
+				dyn.ArriveAndLeave()
+				arrivals.Add(1)
+				churnJoins.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	rep.Stats = b.StatsSnapshot()
+	rep.Epoch = b.Epoch()
+	rep.StaleReads = stale.Load()
+	rep.ChurnJoins = churnJoins.Load()
+	rep.Arrivals = arrivals.Load()
+	rep.Waits = waits.Load()
+	rep.check(dyn)
+	return rep, nil
+}
+
+// check cross-validates the barrier's counters against the harness's
+// own accounting and the stats invariants.
+func (rep *StressReport) check(dyn *DynamicBarrier) {
+	cfg, s := rep.Config, rep.Stats
+	if rep.StaleReads > 0 {
+		rep.violatef("%d stale slot reads: some Wait returned before every member arrived", rep.StaleReads)
+	}
+	if s.Arrivals != rep.Arrivals {
+		rep.violatef("stats.Arrivals = %d, harness issued %d", s.Arrivals, rep.Arrivals)
+	}
+	if got := s.Waits(); got != rep.Waits {
+		rep.violatef("stats.Waits() = %d, harness issued %d", got, rep.Waits)
+	}
+	if s.Syncs != rep.Epoch {
+		rep.violatef("stats.Syncs = %d, epoch = %d", s.Syncs, rep.Epoch)
+	}
+	var hist int64
+	for _, c := range s.WaitSpins {
+		hist += c
+	}
+	if hist != s.SpinWaits {
+		rep.violatef("wait-spin histogram sums to %d, SpinWaits = %d", hist, s.SpinWaits)
+	}
+	if s.SpinIters < s.SpinWaits {
+		rep.violatef("SpinIters = %d < SpinWaits = %d (each spin-resolved Wait needs >= 1 iteration)",
+			s.SpinIters, s.SpinWaits)
+	}
+	if dyn == nil {
+		// Fixed membership: exactly 2 phases per logical phase, every
+		// worker waits on both.
+		if want := int64(2 * cfg.Phases); rep.Epoch != want {
+			rep.violatef("epoch = %d, want %d", rep.Epoch, want)
+		}
+	} else {
+		if m := dyn.Members(); m != 0 {
+			rep.violatef("members after drain = %d, want 0", m)
+		}
+		if want := int64(2 * cfg.Phases); rep.Epoch < want {
+			rep.violatef("epoch = %d, want >= %d", rep.Epoch, want)
+		}
+	}
+}
+
+// mix64 is splitmix64 over a seed/stream pair, for decorrelated
+// per-worker schedule streams.
+func mix64(seed, stream uint64) uint64 {
+	z := seed + stream*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

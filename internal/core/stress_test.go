@@ -1,0 +1,92 @@
+package core
+
+import "testing"
+
+// stressPhases scales the harness for CI: -short keeps make check and
+// the race-enabled verify lane fast; full runs push harder.
+func stressPhases(t *testing.T) int {
+	if testing.Short() {
+		return 64
+	}
+	return 400
+}
+
+// TestStressBarriers runs the weak-memory harness over every runtime
+// barrier, with both the default spin budget and a starved one
+// (SpinLimit 1 forces the block path through the condition variable).
+func TestStressBarriers(t *testing.T) {
+	phases := stressPhases(t)
+	for _, barrier := range []string{"fuzzy", "tree", "dynamic"} {
+		for _, spin := range []int{0, 1} {
+			rep, err := Stress(StressConfig{
+				Barrier: barrier, Workers: 4, Phases: phases,
+				Seed: 0x5eed, SpinLimit: spin,
+			})
+			if err != nil {
+				t.Fatalf("%s spin=%d: %v", barrier, spin, err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("%s spin=%d: %s", barrier, spin, v)
+			}
+			t.Logf("%s", rep)
+		}
+	}
+}
+
+// TestStressTreeShapes covers non-trivial tree topologies: worker
+// counts that don't fill the last level, and radix 2 vs 4.
+func TestStressTreeShapes(t *testing.T) {
+	phases := stressPhases(t)
+	for _, tc := range []struct{ workers, radix int }{
+		{5, 2}, {7, 4}, {9, 2},
+	} {
+		rep, err := Stress(StressConfig{
+			Barrier: "tree", Workers: tc.workers, Phases: phases,
+			Seed: 0xcafe, TreeRadix: tc.radix,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d radix=%d: %v", tc.workers, tc.radix, err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("workers=%d radix=%d: %s", tc.workers, tc.radix, v)
+		}
+	}
+}
+
+// TestStressDynamicChurn adds transient members registering and leaving
+// against the permanent members' phases — the schedule class that found
+// the pre-mutex DynamicBarrier races (see dynamic.go and
+// TestRaceDynamicRegisterDuringCompletion).
+func TestStressDynamicChurn(t *testing.T) {
+	phases := stressPhases(t)
+	rep, err := Stress(StressConfig{
+		Barrier: "dynamic", Workers: 4, Phases: phases,
+		Seed: 0xd1ce, Churners: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Error(v)
+	}
+	if rep.ChurnJoins == 0 {
+		t.Error("churners never completed a join/leave round")
+	}
+	t.Logf("%s", rep)
+}
+
+// TestStressConfigErrors: invalid configs are rejected up front.
+func TestStressConfigErrors(t *testing.T) {
+	for _, cfg := range []StressConfig{
+		{Barrier: "nope", Workers: 2, Phases: 10},
+		{Barrier: "fuzzy", Workers: 0, Phases: 10},
+		{Barrier: "fuzzy", Workers: 2, Phases: 0},
+		{Barrier: "fuzzy", Workers: 2, Phases: 10, Churners: 1},  // churn needs dynamic
+		{Barrier: "dynamic", Workers: 2, Phases: 4, Churners: 1}, // churn needs >= 8 phases
+		{Barrier: "dynamic", Workers: 2, Phases: 10, Churners: -1},
+	} {
+		if _, err := Stress(cfg); err == nil {
+			t.Errorf("config %+v: expected an error", cfg)
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Package exp regenerates the paper's evaluation: one function per table
-// or figure (see DESIGN.md's per-experiment index, E1..E16). Each
+// or figure (see DESIGN.md's per-experiment index, E1..E17). Each
 // experiment returns a trace.Table whose rows are the series the paper
 // reports; EXPERIMENTS.md records the expected shapes next to the paper's
 // numbers.
@@ -68,6 +68,7 @@ func All() []Experiment {
 		{"E14", "Per-phase stall attribution (observability extension)", E14PhaseAttribution},
 		{"E15", "Cluster sync cost vs. region size over a lossy network (extension)", E15ClusterSync},
 		{"E16", "Cluster barrier scaling to 4096 nodes (extension)", E16ClusterScaling},
+		{"E17", "Exhaustive model checking + exact stall oracle (verification extension)", E17ModelCheckAndOracle},
 	}
 }
 

@@ -74,6 +74,11 @@ func Summarize(xs []float64) Summary {
 // linear interpolation between closest ranks. The input must be sorted in
 // ascending order; an empty sample yields 0.
 //
+// Out-of-range p is clamped: p <= 0 yields the minimum, p >= 100 the
+// maximum, so p = -5 or p = 250 never indexes outside the sample. A NaN
+// p orders with neither bound and would otherwise turn the rank into a
+// garbage index; it propagates as NaN instead.
+//
 // NaN elements are excluded before ranking (sort places them in
 // unspecified positions, so ranks over a NaN-bearing sample would be
 // garbage); a sample of only NaNs yields 0. The exclusion scan copies
@@ -97,6 +102,9 @@ func Percentile(sorted []float64, p float64) float64 {
 	}
 	if len(sorted) == 0 {
 		return 0
+	}
+	if math.IsNaN(p) {
+		return math.NaN()
 	}
 	if p <= 0 {
 		return sorted[0]

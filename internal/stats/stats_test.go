@@ -115,6 +115,42 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileOutOfRangeP pins the documented clamping of p itself:
+// out-of-range requests clamp to the extremes instead of indexing
+// outside the sample, a NaN p propagates as NaN instead of turning
+// into a garbage rank, and every case holds on a single-element sample
+// (where any unclamped rank is immediately out of bounds).
+func TestPercentileOutOfRangeP(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"p=0 is the minimum", []float64{10, 20, 30, 40}, 0, 10},
+		{"p=100 is the maximum", []float64{10, 20, 30, 40}, 100, 40},
+		{"p=-5 clamps to the minimum", []float64{10, 20, 30, 40}, -5, 10},
+		{"p=250 clamps to the maximum", []float64{10, 20, 30, 40}, 250, 40},
+		{"-Inf p clamps to the minimum", []float64{10, 20, 30, 40}, math.Inf(-1), 10},
+		{"+Inf p clamps to the maximum", []float64{10, 20, 30, 40}, math.Inf(1), 40},
+		{"single element, p=0", []float64{7}, 0, 7},
+		{"single element, p=100", []float64{7}, 100, 7},
+		{"single element, p=-5", []float64{7}, -5, 7},
+		{"single element, p=250", []float64{7}, 250, 7},
+	}
+	for _, tc := range cases {
+		if got := Percentile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if got := Percentile([]float64{10, 20}, math.NaN()); !math.IsNaN(got) {
+		t.Errorf("NaN p: got %v, want NaN", got)
+	}
+	if got := Percentile(nil, math.NaN()); got != 0 {
+		t.Errorf("NaN p on empty sample: got %v, want 0", got)
+	}
+}
+
 func TestIntHelpers(t *testing.T) {
 	xs := []int64{3, -1, 7, 0}
 	if MeanInts(xs) != 2.25 {

@@ -31,12 +31,13 @@ func Workers(n int) int {
 // Run executes fn(i) for every i in [0, n) on up to workers goroutines
 // (Workers-normalized) and returns the results in index order.
 //
-// Error handling is deterministic: if any cells fail, the error of the
-// lowest-index failing cell is returned (never "whichever goroutine lost
-// the race"), alongside the partial result slice. A panicking cell
-// propagates its panic value to the caller after all workers drain, so
-// experiments that use panic-on-programming-error helpers behave the
-// same as in a serial loop.
+// Error handling is deterministic: if any cells fail, the *lowest-index*
+// failure wins (never "whichever goroutine lost the race"), exactly as a
+// serial loop would surface it — if that cell errored, its error is
+// returned alongside the partial result slice; if it panicked, the panic
+// value propagates to the caller after all workers drain. In particular
+// a high-index cell panicking does not outrank a lower-index cell's
+// error: the serial loop would have stopped at the error first.
 func Run[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n <= 0 {
@@ -75,14 +76,12 @@ func Run[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
-	for i, p := range panics {
-		if p != nil {
-			panic(fmt.Sprintf("sweep: cell %d panicked: %v", i, p))
+	for i := 0; i < n; i++ {
+		if panics[i] != nil {
+			panic(fmt.Sprintf("sweep: cell %d panicked: %v", i, panics[i]))
 		}
-	}
-	for _, err := range errs {
-		if err != nil {
-			return out, err
+		if errs[i] != nil {
+			return out, errs[i]
 		}
 	}
 	return out, nil

@@ -82,6 +82,91 @@ func TestRunPanicPropagates(t *testing.T) {
 	})
 }
 
+// TestRunErrorBeatsLaterPanic: failures are ranked by cell index, so a
+// lower-index error outranks a higher-index panic — a serial loop would
+// have stopped at the error before ever reaching the panicking cell.
+func TestRunErrorBeatsLaterPanic(t *testing.T) {
+	errLow := errors.New("cell 2 failed")
+	for trial := 0; trial < 20; trial++ {
+		_, err := Run(8, 16, func(i int) (int, error) {
+			if i == 2 {
+				return 0, errLow
+			}
+			if i == 11 {
+				panic("late cell panicked after an earlier cell errored")
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("trial %d: err = %v, want cell 2's error (not the cell 11 panic)", trial, err)
+		}
+	}
+}
+
+// TestRunPanicBeatsLaterError: the converse ranking — a lower-index
+// panic outranks a higher-index error.
+func TestRunPanicBeatsLaterError(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("cell 2's panic did not propagate")
+		}
+		if s := fmt.Sprint(r); !strings.Contains(s, "cell 2") {
+			t.Fatalf("panic value %q lost the cell context", s)
+		}
+	}()
+	Run(8, 16, func(i int) (int, error) {
+		if i == 2 {
+			panic("early cell panicked")
+		}
+		if i == 11 {
+			return 0, errors.New("late cell errored")
+		}
+		return i, nil
+	})
+}
+
+// TestRunWorkerNormalization: Workers(0)/negative select GOMAXPROCS,
+// and a workers request larger than n clamps to n — every cell still
+// runs exactly once and lands at its own index.
+func TestRunWorkerNormalization(t *testing.T) {
+	for _, workers := range []int{0, -3, 64} {
+		var ran atomic.Int64
+		out, err := Run(workers, 5, func(i int) (int, error) {
+			ran.Add(1)
+			return i + 1, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if ran.Load() != 5 {
+			t.Fatalf("workers=%d: ran %d cells, want 5", workers, ran.Load())
+		}
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i+1)
+			}
+		}
+	}
+}
+
+// TestRunSerialMatchesParallel: the workers==1 fast path and the pool
+// agree on the lowest-index-failure contract.
+func TestRunSerialMatchesParallel(t *testing.T) {
+	errLow := errors.New("cell 1 failed")
+	for _, workers := range []int{1, 8} {
+		_, err := Run(workers, 4, func(i int) (int, error) {
+			if i == 1 {
+				return 0, errLow
+			}
+			return i, nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("workers=%d: err = %v, want cell 1's error", workers, err)
+		}
+	}
+}
+
 func TestWorkers(t *testing.T) {
 	if Workers(0) != runtime.GOMAXPROCS(0) || Workers(-3) != runtime.GOMAXPROCS(0) {
 		t.Error("non-positive should select GOMAXPROCS")
