@@ -53,11 +53,13 @@ bench-gate:
 # verify every cluster protocol at n<=3 under the full adversary
 # (reorder, duplicate, drop) including the mutation negative tests that
 # prove the checker has teeth, then hammer the runtime barriers with
-# randomized schedules under the race detector. The wide n=4 sweep and
-# full-length stress runs live behind the non-short suite (`make race`).
+# randomized schedules under the race detector — TestStress* covers the
+# reduce-barrier fold check and phaser churn, TestRace* the plain-slot
+# ordering baits. The wide n=4 sweep and full-length stress runs live
+# behind the non-short suite (`make race`).
 check:
 	$(GO) test -short -count=1 ./internal/check
-	$(GO) test -race -short -count=1 -run 'TestStress|TestRaceDynamic' ./internal/core
+	$(GO) test -race -short -count=1 -run 'TestStress|TestRace' ./internal/core
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's evaluation, one benchmark per table
-// or figure (DESIGN.md index E1..E16), plus the ablations DESIGN.md calls
+// or figure (DESIGN.md index E1..E18), plus the ablations DESIGN.md calls
 // out. Simulator benchmarks report deterministic counters (cycles, stall
 // cycles) via b.ReportMetric; goroutine benchmarks report wall time — on
 // a time-shared scheduler treat those as orderings, not absolutes.
@@ -430,6 +430,75 @@ func BenchmarkClusterEngine(b *testing.B) {
 				ticks = res.Ticks
 			}
 			b.ReportMetric(float64(ticks), "sim-ticks")
+		})
+	}
+}
+
+// BenchmarkE18FleetAggregation regenerates the fleet epoch aggregation
+// table (reduce-barrier allreduce vs central gather).
+func BenchmarkE18FleetAggregation(b *testing.B) { benchExperiment(b, "E18") }
+
+// BenchmarkReduceAllreduce is the goroutine (wall-clock) form of E18's
+// comparison: workers agree on a per-phase max either through the
+// combining ReduceBarrier (AwaitValue — the result rides the epoch
+// publication) or through a central CAS word paced by a plain
+// FuzzyBarrier. ns/op is one full allreduce episode per worker; on a
+// time-shared host read the two as an ordering, not absolutes — the
+// deterministic hotspot numbers are in E18 itself. The central variant
+// skips the per-phase accumulator reset (the fold is monotone across
+// phases), so its cost here is a floor.
+func BenchmarkReduceAllreduce(b *testing.B) {
+	for _, workers := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("reduce-tree/p%d", workers), func(b *testing.B) {
+			bar := core.NewReduceBarrier(workers, core.OpMax, core.IdentityMax)
+			var sink atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int64) {
+					defer wg.Done()
+					var acc int64
+					for i := 0; i < b.N; i++ {
+						acc ^= bar.AwaitValue(id + int64(i))
+					}
+					sink.Add(acc)
+				}(int64(w))
+			}
+			wg.Wait()
+			b.StopTimer()
+			benchSink += uint64(sink.Load())
+		})
+		b.Run(fmt.Sprintf("central-gather/p%d", workers), func(b *testing.B) {
+			bar := core.NewFuzzyBarrier(workers)
+			var word atomic.Int64
+			word.Store(core.IdentityMax)
+			var sink atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int64) {
+					defer wg.Done()
+					var acc int64
+					for i := 0; i < b.N; i++ {
+						v := id + int64(i)
+						for {
+							old := word.Load()
+							if v <= old || word.CompareAndSwap(old, v) {
+								break
+							}
+						}
+						ph := bar.Arrive()
+						bar.Wait(ph)
+						acc ^= word.Load()
+					}
+					sink.Add(acc)
+				}(int64(w))
+			}
+			wg.Wait()
+			b.StopTimer()
+			benchSink += uint64(sink.Load())
 		})
 	}
 }

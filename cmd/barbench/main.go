@@ -1,8 +1,9 @@
 // Command barbench measures runtime (goroutine) barrier implementations:
 // the conventional barriers of internal/baseline and the split-phase fuzzy
-// barriers of internal/core (central-counter "fuzzy" and combining-tree
-// "fuzzy-tree"), optionally with a busy "barrier region" between Arrive
-// and Wait — the software analog of the Section 8 Encore measurement.
+// barriers of internal/core (central-counter "fuzzy", combining-tree
+// "fuzzy-tree", and the value-carrying allreduce "fuzzy-reduce"),
+// optionally with a busy "barrier region" between Arrive and Wait — the
+// software analog of the Section 8 Encore measurement.
 //
 // Usage:
 //
@@ -52,12 +53,16 @@ type record struct {
 	Stats      *splitStats `json:"stats,omitempty"`
 }
 
-// splitStats flattens core.BarrierStats for JSON consumers.
+// splitStats flattens core.BarrierStats for JSON consumers. The four
+// wait counters partition Waits() by outcome: fast (already published),
+// spin (resolved while spinning), lock (budget exhausted but resolved at
+// the locked recheck, no sleep), block (really slept).
 type splitStats struct {
 	Syncs     int64   `json:"syncs"`
 	Arrivals  int64   `json:"arrivals"`
 	FastWaits int64   `json:"fast_waits"`
 	SpinWaits int64   `json:"spin_waits"`
+	LockWaits int64   `json:"lock_waits"`
 	Blocks    int64   `json:"blocks"`
 	SpinIters int64   `json:"spin_iters"`
 	BlockRate float64 `json:"block_rate"`
@@ -187,7 +192,7 @@ func main() {
 					Stats: &splitStats{
 						Syncs: s.Syncs, Arrivals: s.Arrivals,
 						FastWaits: s.FastWaits, SpinWaits: s.SpinWaits,
-						Blocks: s.Blocks, SpinIters: s.SpinIters,
+						LockWaits: s.LockWaits, Blocks: s.Blocks, SpinIters: s.SpinIters,
 						BlockRate: s.BlockRate(),
 					},
 				})

@@ -10,8 +10,10 @@ import (
 // New constructs a barrier by name. Known names: "central",
 // "sense-reversing", "tree", "dissemination", "tournament", "fuzzy"
 // (a core.FuzzyBarrier used as a point barrier, for apples-to-apples
-// comparisons) and "fuzzy-tree" (the combining-tree core.TreeBarrier,
-// likewise as a point barrier).
+// comparisons), "fuzzy-tree" (the combining-tree core.TreeBarrier,
+// likewise as a point barrier), and "fuzzy-reduce" (the value-carrying
+// core.ReduceBarrier with a sum reduction, paying the allreduce combine
+// on every episode).
 func New(name string, n int) (Barrier, error) {
 	switch name {
 	case "central":
@@ -28,20 +30,22 @@ func New(name string, n int) (Barrier, error) {
 		return NewFuzzyPoint(n), nil
 	case "fuzzy-tree":
 		return NewSplitPoint("fuzzy-tree", core.NewTreeBarrier(n)), nil
+	case "fuzzy-reduce":
+		return NewSplitPoint("fuzzy-reduce", core.NewReduceBarrier(n, core.OpSum, core.IdentitySum)), nil
 	}
 	return nil, fmt.Errorf("baseline: unknown barrier %q", name)
 }
 
 // Names returns the known barrier names in stable order.
 func Names() []string {
-	names := []string{"central", "sense-reversing", "tree", "dissemination", "tournament", "fuzzy", "fuzzy-tree"}
+	names := []string{"central", "sense-reversing", "tree", "dissemination", "tournament", "fuzzy", "fuzzy-tree", "fuzzy-reduce"}
 	sort.Strings(names)
 	return names
 }
 
 // SplitNames returns the names that are split-phase (fuzzy) barriers —
 // the subset whose Inner exposes Arrive/Wait for region workloads.
-func SplitNames() []string { return []string{"fuzzy", "fuzzy-tree"} }
+func SplitNames() []string { return []string{"fuzzy", "fuzzy-tree", "fuzzy-reduce"} }
 
 // NewSplit constructs a runtime split-phase barrier by split name.
 func NewSplit(name string, n int) (core.SplitBarrier, error) {
@@ -50,6 +54,8 @@ func NewSplit(name string, n int) (core.SplitBarrier, error) {
 		return core.NewFuzzyBarrier(n), nil
 	case "fuzzy-tree":
 		return core.NewTreeBarrier(n), nil
+	case "fuzzy-reduce":
+		return core.NewReduceBarrier(n, core.OpSum, core.IdentitySum), nil
 	}
 	return nil, fmt.Errorf("baseline: unknown split barrier %q", name)
 }

@@ -61,6 +61,97 @@ func TestRaceTreeBarrierStress(t *testing.T) {
 	stressSplit(t, NewTreeBarrierRadix(13, 2), 13, 200)
 }
 
+// TestRaceReduceBarrierStress runs the reduce barrier through the same
+// plain-slot bait (Arrive contributes the identity, so the split-phase
+// protocol is exercised unchanged); the combining CAS loop and the
+// root's result publication must provide the same ordering the plain
+// tree does. TestReduceBarrierConcurrent adds the value-carrying path
+// under -race via the verify lane.
+func TestRaceReduceBarrierStress(t *testing.T) {
+	stressSplit(t, NewReduceBarrier(8, OpSum, IdentitySum), 8, 300)
+	stressSplit(t, NewReduceBarrierRadix(13, 2, OpMax, IdentityMax), 13, 200)
+}
+
+// TestRacePhaserChurn stresses Phaser registration against live phases:
+// a fixed core of signal+wait members synchronizes for the whole run
+// while churners register in signal-only or wait-only mode, ride a few
+// boundaries, and leave. Under -race this hammers the members-slice
+// swap-remove, the ready recount in completeLocked, and Deregister's
+// obligation removal — every transition shares the phaser mutex, and a
+// leaked edge shows up on the plain per-member counters.
+func TestRacePhaserChurn(t *testing.T) {
+	const fixed = 4
+	const phases = 300
+	const churners = 6
+	p := NewPhaser()
+	perm := make([]*PhaserMember, fixed)
+	for i := range perm {
+		perm[i] = p.Register(SignalWait)
+	}
+	var data [fixed + churners]int // plain writes ordered only by the phaser
+	var wg sync.WaitGroup
+	for w := 0; w < fixed; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			m := perm[id]
+			for k := 0; k < phases; k++ {
+				data[id]++
+				m.Wait(m.Arrive())
+			}
+		}(w)
+	}
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for round := 0; round < 10; round++ {
+				if (id+round)%2 == 0 {
+					m := p.Register(SignalOnly)
+					for k := 0; k < 3+id; k++ {
+						data[fixed+id]++
+						m.Arrive()
+					}
+					m.Deregister()
+				} else {
+					m := p.Register(WaitOnly)
+					for k := 0; k < 3+id; k++ {
+						ph := m.Arrive()
+						if ph.epoch >= phases {
+							// The permanents have signaled their last phase;
+							// only the drain publishes again, and that waits
+							// for this goroutine to exit.
+							break
+						}
+						m.Wait(ph)
+						data[fixed+id]++
+					}
+					m.Deregister()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, m := range perm {
+		m.Deregister() // last signaler out drains
+	}
+	if got := p.Members(); got != 0 {
+		t.Errorf("members after drain = %d, want 0", got)
+	}
+	// The permanents pace the epoch to exactly `phases` (no phase can
+	// complete without all of their signals), and the drain adds one.
+	if got := p.Epoch(); got != phases+1 {
+		t.Errorf("epoch = %d, want %d", got, phases+1)
+	}
+	var total int
+	for _, v := range data {
+		total += v
+	}
+	if total == 0 {
+		t.Error("no work recorded")
+	}
+}
+
 // TestRaceDynamicBarrierChurn stresses DynamicBarrier with membership
 // churn: a fixed core of members synchronizes for the whole run while
 // transient members register, ride along for a few phases, and leave.

@@ -49,11 +49,13 @@ type RuntimeStats struct {
 	Arrivals  atomic.Int64 // total Arrive calls
 	FastWaits atomic.Int64 // Waits satisfied without spinning (already synced)
 	SpinWaits atomic.Int64 // Waits satisfied during the spin phase
-	Blocks    atomic.Int64 // Waits that had to block (the expensive case)
+	LockWaits atomic.Int64 // Waits resolved at the locked recheck, no sleep
+	Blocks    atomic.Int64 // Waits that slept on the condvar (the expensive case)
 	SpinIters atomic.Int64 // total spin iterations across all Waits
 
-	// waitSpins histograms the spin iterations of spin-resolved Waits
-	// (power-of-four buckets; see WaitBucketLabel).
+	// waitSpins histograms the spin iterations of each Wait
+	// (power-of-four buckets plus an exhausted-budget overflow bucket;
+	// see WaitBucketLabel).
 	waitSpins [NumWaitBuckets]atomic.Int64
 }
 

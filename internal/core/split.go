@@ -1,10 +1,12 @@
 package core
 
 // SplitBarrier is the split-phase (fuzzy) barrier contract shared by the
-// runtime implementations: the central-counter FuzzyBarrier and the
-// combining-tree TreeBarrier. The experiment harness, the benchmarks and
-// cmd/barbench all drive barriers through this interface so that
-// implementations can be compared apples-to-apples.
+// runtime implementations: the central-counter FuzzyBarrier, the
+// combining-tree TreeBarrier, and the allreduce ReduceBarrier (whose
+// plain Arrive contributes the reduction identity). The experiment
+// harness, the benchmarks and cmd/barbench all drive barriers through
+// this interface so that implementations can be compared
+// apples-to-apples.
 //
 // The protocol is the paper's: Arrive marks entry into the barrier
 // region and never blocks; Wait marks the region's end and blocks only
@@ -49,6 +51,8 @@ type ArriveProfiler interface {
 var (
 	_ SplitBarrier   = (*FuzzyBarrier)(nil)
 	_ SplitBarrier   = (*TreeBarrier)(nil)
+	_ SplitBarrier   = (*ReduceBarrier)(nil)
 	_ ArriveProfiler = (*FuzzyBarrier)(nil)
 	_ ArriveProfiler = (*TreeBarrier)(nil)
+	_ ArriveProfiler = (*ReduceBarrier)(nil)
 )

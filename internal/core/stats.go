@@ -5,15 +5,26 @@ import (
 	"strings"
 )
 
-// NumWaitBuckets is the number of buckets in the wait-spin histogram:
-// power-of-four buckets over the spin iterations a spin-resolved Wait
-// needed, i.e. upper bounds 1, 4, 16, 64, 256 and an overflow bucket.
-const NumWaitBuckets = 6
+// NumSpinBuckets is the number of wait-spin histogram buckets that hold
+// *resolved* Waits: power-of-four buckets over the spin iterations a
+// Wait needed before it found the phase complete, i.e. upper bounds 1,
+// 4, 16, 64, 256 and a >256 bucket. A fast Wait (already complete on
+// entry) spins zero times and lands in the first bucket.
+const NumSpinBuckets = 6
 
-// waitBucket maps a spin-iteration count to its histogram bucket.
+// NumWaitBuckets is the total histogram size: the resolved-spin buckets
+// plus one dedicated overflow bucket for Waits that exhausted their
+// whole spin budget without resolving (they then either resolved at the
+// locked recheck — LockWaits — or slept — Blocks). Every Wait lands in
+// exactly one bucket, so the histogram total equals
+// FastWaits+SpinWaits+LockWaits+Blocks.
+const NumWaitBuckets = NumSpinBuckets + 1
+
+// waitBucket maps a resolved Wait's spin-iteration count to its
+// histogram bucket.
 func waitBucket(iters int64) int {
 	b, bound := 0, int64(1)
-	for b < NumWaitBuckets-1 && iters > bound {
+	for b < NumSpinBuckets-1 && iters > bound {
 		b++
 		bound *= 4
 	}
@@ -21,12 +32,16 @@ func waitBucket(iters int64) int {
 }
 
 // WaitBucketLabel returns a human-readable label for wait-spin bucket i
-// ("<=1", "<=4", ..., ">256").
+// ("<=1", "<=4", ..., ">256", "exhausted").
 func WaitBucketLabel(i int) string {
-	if i >= NumWaitBuckets-1 {
-		return fmt.Sprintf(">%d", pow4(NumWaitBuckets-2))
+	switch {
+	case i >= NumWaitBuckets-1:
+		return "exhausted"
+	case i >= NumSpinBuckets-1:
+		return fmt.Sprintf(">%d", pow4(NumSpinBuckets-2))
+	default:
+		return fmt.Sprintf("<=%d", pow4(i))
 	}
-	return fmt.Sprintf("<=%d", pow4(i))
 }
 
 func pow4(n int) int64 {
@@ -39,32 +54,35 @@ func pow4(n int) int64 {
 
 // BarrierStats is a point-in-time snapshot of a runtime barrier's
 // counters: the observability surface shared by FuzzyBarrier,
-// DynamicBarrier and TreeBarrier and rendered by cmd/barbench. The
-// counters themselves are plain atomics bumped on the Arrive/Wait hot
-// path — no locks, no allocation — so keeping them always-on costs a
-// handful of uncontended atomic adds per episode.
+// DynamicBarrier, TreeBarrier, ReduceBarrier and Phaser, rendered by
+// cmd/barbench. The counters themselves are plain atomics bumped on the
+// Arrive/Wait hot path — no locks, no allocation — so keeping them
+// always-on costs a handful of uncontended atomic adds per episode.
 type BarrierStats struct {
 	Syncs     int64 // completed barrier episodes
 	Arrivals  int64 // total Arrive calls
 	FastWaits int64 // Waits satisfied without spinning (already synced)
 	SpinWaits int64 // Waits satisfied during the spin phase
-	Blocks    int64 // Waits that had to block (the expensive case)
+	LockWaits int64 // Waits that exhausted the spin budget but resolved at the locked recheck (no sleep)
+	Blocks    int64 // Waits that slept on the condition variable (the expensive case)
 	SpinIters int64 // total spin iterations across all Waits
 
-	// WaitSpins is a histogram of the spin iterations each spin-resolved
-	// Wait needed before the phase completed (bucket upper bounds via
-	// WaitBucketLabel). Blocked waits exhaust the spin budget and are
-	// counted in Blocks instead.
+	// WaitSpins is a histogram of the spin iterations each Wait spent
+	// before resolving (bucket upper bounds via WaitBucketLabel); fast
+	// Waits land in the first bucket with zero iterations, and Waits that
+	// exhausted the whole budget (LockWaits and Blocks) land in the final
+	// "exhausted" overflow bucket. The bucket total therefore equals
+	// Waits().
 	WaitSpins [NumWaitBuckets]int64
 }
 
 // StalledWaits returns the departures that found synchronization still
-// pending — the runtime analog of the hardware's stalled state (spun or
-// blocked rather than sailing through).
-func (s BarrierStats) StalledWaits() int64 { return s.SpinWaits + s.Blocks }
+// pending — the runtime analog of the hardware's stalled state (spun,
+// lock-resolved or blocked rather than sailing through).
+func (s BarrierStats) StalledWaits() int64 { return s.SpinWaits + s.LockWaits + s.Blocks }
 
 // Waits returns the total number of Wait calls observed.
-func (s BarrierStats) Waits() int64 { return s.FastWaits + s.SpinWaits + s.Blocks }
+func (s BarrierStats) Waits() int64 { return s.FastWaits + s.SpinWaits + s.LockWaits + s.Blocks }
 
 // BlockRate returns the fraction of Waits that blocked, 0 for no Waits.
 func (s BarrierStats) BlockRate() float64 {
@@ -77,9 +95,13 @@ func (s BarrierStats) BlockRate() float64 {
 // String renders the snapshot as a single metrics line.
 func (s BarrierStats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "syncs=%d arrivals=%d waits[fast=%d spin=%d block=%d] stalled=%d spin-iters=%d",
-		s.Syncs, s.Arrivals, s.FastWaits, s.SpinWaits, s.Blocks, s.StalledWaits(), s.SpinIters)
-	if s.SpinWaits > 0 {
+	fmt.Fprintf(&b, "syncs=%d arrivals=%d waits[fast=%d spin=%d lock=%d block=%d] stalled=%d spin-iters=%d",
+		s.Syncs, s.Arrivals, s.FastWaits, s.SpinWaits, s.LockWaits, s.Blocks, s.StalledWaits(), s.SpinIters)
+	var hist int64
+	for _, c := range s.WaitSpins {
+		hist += c
+	}
+	if hist > 0 {
 		b.WriteString(" spin-hist[")
 		first := true
 		for i, c := range s.WaitSpins {
@@ -104,6 +126,7 @@ func (rs *RuntimeStats) Snapshot() BarrierStats {
 		Arrivals:  rs.Arrivals.Load(),
 		FastWaits: rs.FastWaits.Load(),
 		SpinWaits: rs.SpinWaits.Load(),
+		LockWaits: rs.LockWaits.Load(),
 		Blocks:    rs.Blocks.Load(),
 		SpinIters: rs.SpinIters.Load(),
 	}
@@ -113,8 +136,16 @@ func (rs *RuntimeStats) Snapshot() BarrierStats {
 	return s
 }
 
-// observeSpin records a spin-resolved Wait's iteration count in the
-// wait-spin histogram.
+// observeSpin records a resolved Wait's spin-iteration count in the
+// wait-spin histogram (0 for fast Waits).
 func (rs *RuntimeStats) observeSpin(iters int64) {
 	rs.waitSpins[waitBucket(iters)].Add(1)
+}
+
+// observeExhausted records a Wait that burned its whole spin budget
+// without resolving — the slowest class of waits, which previously went
+// missing from the histogram entirely — in the dedicated overflow
+// bucket.
+func (rs *RuntimeStats) observeExhausted() {
+	rs.waitSpins[NumWaitBuckets-1].Add(1)
 }

@@ -19,17 +19,29 @@ func TestWaitBucket(t *testing.T) {
 			t.Errorf("waitBucket(%d) = %d, want %d", c.iters, got, c.want)
 		}
 	}
-	if WaitBucketLabel(0) != "<=1" || WaitBucketLabel(4) != "<=256" || WaitBucketLabel(5) != ">256" {
-		t.Errorf("labels = %q %q %q", WaitBucketLabel(0), WaitBucketLabel(4), WaitBucketLabel(5))
+	if WaitBucketLabel(0) != "<=1" || WaitBucketLabel(4) != "<=256" || WaitBucketLabel(5) != ">256" ||
+		WaitBucketLabel(6) != "exhausted" {
+		t.Errorf("labels = %q %q %q %q",
+			WaitBucketLabel(0), WaitBucketLabel(4), WaitBucketLabel(5), WaitBucketLabel(6))
+	}
+	// The exhausted overflow bucket is reserved for spin-budget
+	// exhaustion: no resolved spin count may route into it, however huge.
+	if got := waitBucket(1 << 40); got != NumSpinBuckets-1 {
+		t.Errorf("waitBucket(1<<40) = %d, want %d (never the exhausted bucket)", got, NumSpinBuckets-1)
 	}
 }
 
 // TestStatsSnapshotConsistency drives a real multi-goroutine barrier and
-// checks the snapshot's internal arithmetic: every Wait is fast, spun or
-// blocked, and the spin histogram covers exactly the spin-resolved ones.
+// checks the snapshot's internal arithmetic: every Wait lands in exactly
+// one outcome counter (fast, spin, lock, block) and exactly one
+// histogram bucket, so the histogram covers every Wait.
 func TestStatsSnapshotConsistency(t *testing.T) {
 	const workers, episodes = 4, 2000
-	for _, impl := range []SplitBarrier{NewFuzzyBarrier(workers), NewTreeBarrier(workers)} {
+	for _, impl := range []SplitBarrier{
+		NewFuzzyBarrier(workers),
+		NewTreeBarrier(workers),
+		NewReduceBarrier(workers, OpSum, IdentitySum),
+	} {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
@@ -55,10 +67,14 @@ func TestStatsSnapshotConsistency(t *testing.T) {
 		for _, c := range s.WaitSpins {
 			hist += c
 		}
-		if hist != s.SpinWaits {
-			t.Errorf("%T: spin histogram sum = %d, want SpinWaits = %d", impl, hist, s.SpinWaits)
+		if hist != s.Waits() {
+			t.Errorf("%T: spin histogram sum = %d, want Waits() = %d", impl, hist, s.Waits())
 		}
-		if s.StalledWaits() != s.SpinWaits+s.Blocks {
+		if got := s.WaitSpins[NumWaitBuckets-1]; got != s.LockWaits+s.Blocks {
+			t.Errorf("%T: exhausted bucket = %d, want LockWaits+Blocks = %d",
+				impl, got, s.LockWaits+s.Blocks)
+		}
+		if s.StalledWaits() != s.SpinWaits+s.LockWaits+s.Blocks {
 			t.Errorf("%T: StalledWaits = %d", impl, s.StalledWaits())
 		}
 		if r := s.BlockRate(); r < 0 || r > 1 {
@@ -74,10 +90,11 @@ func TestStatsSnapshotConsistency(t *testing.T) {
 }
 
 func TestBarrierStatsString(t *testing.T) {
-	s := BarrierStats{Syncs: 3, Arrivals: 12, FastWaits: 6, SpinWaits: 5, Blocks: 1, SpinIters: 40}
+	s := BarrierStats{Syncs: 3, Arrivals: 12, FastWaits: 6, SpinWaits: 5, LockWaits: 2, Blocks: 1, SpinIters: 40}
 	s.WaitSpins[1] = 5
+	s.WaitSpins[NumWaitBuckets-1] = 3
 	out := s.String()
-	for _, want := range []string{"syncs=3", "arrivals=12", "spin=5", "block=1", "stalled=6", "<=4:5"} {
+	for _, want := range []string{"syncs=3", "arrivals=12", "spin=5", "lock=2", "block=1", "stalled=8", "<=4:5", "exhausted:3"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("String() missing %q: %s", want, out)
 		}
@@ -101,8 +118,9 @@ func TestDynamicBarrierSnapshot(t *testing.T) {
 // the nil-disabled trace hooks upstream) never add GC pressure.
 func TestBarrierHotPathZeroAllocs(t *testing.T) {
 	barriers := map[string]SplitBarrier{
-		"fuzzy":      NewFuzzyBarrier(1),
-		"fuzzy-tree": NewTreeBarrier(1),
+		"fuzzy":        NewFuzzyBarrier(1),
+		"fuzzy-tree":   NewTreeBarrier(1),
+		"fuzzy-reduce": NewReduceBarrier(1, OpSum, IdentitySum),
 	}
 	for name, b := range barriers {
 		allocs := testing.AllocsPerRun(1000, func() {
@@ -115,6 +133,17 @@ func TestBarrierHotPathZeroAllocs(t *testing.T) {
 	d := NewDynamicBarrier(1)
 	if allocs := testing.AllocsPerRun(1000, func() { d.Wait(d.Arrive()) }); allocs != 0 {
 		t.Errorf("dynamic: %.1f allocs/op on Arrive+Wait, want 0", allocs)
+	}
+	// The int64 reduce fast path must stay allocation-free too:
+	// contribute-and-read, not just the identity Arrive.
+	r := NewReduceBarrier(1, OpMax, IdentityMax)
+	if allocs := testing.AllocsPerRun(1000, func() { r.AwaitValue(7) }); allocs != 0 {
+		t.Errorf("reduce: %.1f allocs/op on ArriveValue+WaitValue, want 0", allocs)
+	}
+	p := NewPhaser()
+	m := p.Register(SignalWait)
+	if allocs := testing.AllocsPerRun(1000, func() { m.Wait(m.Arrive()) }); allocs != 0 {
+		t.Errorf("phaser: %.1f allocs/op on Arrive+Wait, want 0", allocs)
 	}
 }
 

@@ -10,23 +10,28 @@ import (
 // Stress is a weak-memory stress harness for the runtime barriers: the
 // model-checking counterpart internal/check proves the *cluster*
 // protocols over every message interleaving; this harness hammers the
-// shared-memory barriers (FuzzyBarrier, TreeBarrier, DynamicBarrier)
-// under randomized arrive/wait/register/leave schedules and
-// runtime.Gosched storms, and cross-checks what cannot be enumerated:
-// the Go memory model's happens-before edges and the BarrierStats
-// accounting.
+// shared-memory barriers (FuzzyBarrier, TreeBarrier, DynamicBarrier,
+// ReduceBarrier, Phaser) under randomized
+// arrive/wait/register/leave schedules and runtime.Gosched storms, and
+// cross-checks what cannot be enumerated: the Go memory model's
+// happens-before edges and the BarrierStats accounting.
 //
-// Detection is two-layered:
+// Detection is layered:
 //
 //   - plain (non-atomic) per-worker slots are written before Arrive and
 //     read after Wait. A Wait that returns before every member arrived
 //     reads a slot concurrently with its writer — a value-level stale
 //     read counted in the report, and, under `go test -race`, a
 //     reported data race even when the values happen to agree.
+//   - the reduce harness compares every phase's WaitValue against the
+//     serial fold of that phase's contributions (the operator is drawn
+//     from {sum, xor, min, max} by seed): a dropped, duplicated or
+//     torn combine anywhere in the tree shows up as a value mismatch.
 //   - the harness counts every Arrive and Wait it issues and checks
 //     the barrier's own counters against them: Arrivals and Waits must
 //     match exactly, Syncs must equal the final Epoch, the wait-spin
-//     histogram must sum to SpinWaits, and SpinIters must cover every
+//     histogram must sum to Waits() (with the exhausted overflow bucket
+//     equal to LockWaits+Blocks), and SpinIters must cover every
 //     spin-resolved Wait. Lost or double-counted updates on the stats
 //     hot path show up here.
 //
@@ -38,7 +43,7 @@ import (
 
 // StressConfig configures one stress run.
 type StressConfig struct {
-	Barrier string // "fuzzy", "tree" or "dynamic"
+	Barrier string // "fuzzy", "tree", "dynamic", "reduce" or "phaser"
 	Workers int    // permanent members (>= 1)
 	Phases  int    // synchronization episodes per permanent member
 
@@ -50,13 +55,15 @@ type StressConfig struct {
 	// the block path, 0 keeps DefaultSpinLimit.
 	SpinLimit int
 
-	TreeRadix int // tree only; 0 = DefaultTreeRadix
+	TreeRadix int // tree/reduce only; 0 = DefaultTreeRadix
 
-	// Churners adds transient members (dynamic only): each repeatedly
-	// Registers, rides along for a few phases, and ArriveAndLeaves,
-	// exercising membership transitions against phase completion. The
-	// churn volume is bounded well below Phases so churners always
-	// drain while the permanent members still drive phases.
+	// Churners adds transient members (dynamic and phaser): each
+	// repeatedly Registers, rides along for a few phases, and leaves,
+	// exercising membership transitions against phase completion.
+	// Dynamic churners are ordinary members; phaser churners register as
+	// signal-only producers or wait-only consumers (chosen per round by
+	// seed). The churn volume is bounded well below Phases so churners
+	// always drain while the permanent members still drive phases.
 	Churners int
 }
 
@@ -65,11 +72,13 @@ type StressReport struct {
 	Config StressConfig
 	Stats  BarrierStats
 
-	Epoch      int64 // barrier epoch at the end of the run
-	StaleReads int64 // slot reads that observed a pre-arrival value
-	ChurnJoins int64 // completed Register..ArriveAndLeave rounds
-	Arrivals   int64 // Arrive/ArriveAndLeave calls the harness issued
-	Waits      int64 // Wait calls the harness issued
+	Epoch      int64  // barrier epoch at the end of the run
+	StaleReads int64  // slot reads that observed a pre-arrival value
+	ChurnJoins int64  // completed register..ride..leave rounds
+	Arrivals   int64  // Arrive/ArriveAndLeave calls the harness issued
+	Waits      int64  // Wait calls the harness issued
+	ReduceOp   string // reduce only: the seed-chosen operator name
+	ReduceBad  int64  // reduce only: WaitValue results != the serial fold
 	Violations []string
 }
 
@@ -86,8 +95,12 @@ func (r *StressReport) String() string {
 	if !r.Ok() {
 		verdict = fmt.Sprintf("%d VIOLATIONS", len(r.Violations))
 	}
+	name := r.Config.Barrier
+	if r.ReduceOp != "" {
+		name += "/" + r.ReduceOp
+	}
 	return fmt.Sprintf("%s workers=%d phases=%d churners=%d: epoch=%d arrivals=%d waits=%d churn-joins=%d — %s",
-		r.Config.Barrier, r.Config.Workers, r.Config.Phases, r.Config.Churners,
+		name, r.Config.Workers, r.Config.Phases, r.Config.Churners,
 		r.Epoch, r.Arrivals, r.Waits, r.ChurnJoins, verdict)
 }
 
@@ -140,16 +153,21 @@ func Stress(cfg StressConfig) (*StressReport, error) {
 
 	var b stressBarrier
 	var dyn *DynamicBarrier
+	var red *ReduceBarrier
+	var phs *Phaser
+	var opName string
+	var op ReduceOp
+	var identity int64
+	radix := cfg.TreeRadix
+	if radix == 0 {
+		radix = DefaultTreeRadix
+	}
 	switch cfg.Barrier {
 	case "fuzzy":
 		fb := NewFuzzyBarrier(cfg.Workers)
 		fb.SpinLimit = cfg.SpinLimit
 		b = fb
 	case "tree":
-		radix := cfg.TreeRadix
-		if radix == 0 {
-			radix = DefaultTreeRadix
-		}
 		tb := NewTreeBarrierRadix(cfg.Workers, radix)
 		tb.SpinLimit = cfg.SpinLimit
 		b = tb
@@ -157,11 +175,34 @@ func Stress(cfg StressConfig) (*StressReport, error) {
 		dyn = NewDynamicBarrier(cfg.Workers)
 		dyn.SpinLimit = cfg.SpinLimit
 		b = dyn
+	case "reduce":
+		// The operator is drawn by seed so repeated runs cover the whole
+		// family; every op here is associative and commutative (sum wraps
+		// mod 2^64, which folds identically in any order).
+		ops := []struct {
+			name     string
+			op       ReduceOp
+			identity int64
+		}{
+			{"sum", OpSum, IdentitySum},
+			{"xor", OpXor, IdentityXor},
+			{"min", OpMin, IdentityMin},
+			{"max", OpMax, IdentityMax},
+		}
+		pick := ops[mix64(cfg.Seed, 0x0b)%uint64(len(ops))]
+		opName, op, identity = pick.name, pick.op, pick.identity
+		rb := NewReduceBarrierRadix(cfg.Workers, radix, op, identity)
+		rb.SpinLimit = cfg.SpinLimit
+		red = rb
+		b = rb
+	case "phaser":
+		phs = NewPhaser()
+		phs.SpinLimit = cfg.SpinLimit
 	default:
 		return nil, fmt.Errorf("core: unknown stress barrier %q", cfg.Barrier)
 	}
-	if cfg.Churners > 0 && dyn == nil {
-		return nil, fmt.Errorf("core: churners need the dynamic barrier, got %q", cfg.Barrier)
+	if cfg.Churners > 0 && dyn == nil && phs == nil {
+		return nil, fmt.Errorf("core: churners need the dynamic barrier or phaser, got %q", cfg.Barrier)
 	}
 	// Each churner round rides at most 4 phases and runs churnRounds
 	// times; keep the total well under the permanent members' 2*Phases
@@ -171,114 +212,277 @@ func Stress(cfg StressConfig) (*StressReport, error) {
 		return nil, fmt.Errorf("core: churn needs >= 8 phases, got %d", cfg.Phases)
 	}
 
-	rep := &StressReport{Config: cfg}
+	rep := &StressReport{Config: cfg, ReduceOp: opName}
 	slots := make([]int64, cfg.Workers+cfg.Churners) // plain slots: the race bait
-	var stale, arrivals, waits, churnJoins atomic.Int64
+	var stale, arrivals, waits, churnJoins, reduceBad atomic.Int64
+
+	// Reduce mode: contributions are a pure function of (seed, phase,
+	// worker), so the serial fold every WaitValue must equal is computed
+	// up front. Only even phases carry data; the odd window-closing phase
+	// contributes identities and must reduce to the identity.
+	contrib := func(p int64, id int) int64 {
+		return int64(mix64(cfg.Seed^0xa5a5a5a5, uint64(p)*1000003+uint64(id)))
+	}
+	var expectFold []int64
+	if red != nil {
+		expectFold = make([]int64, cfg.Phases)
+		for p := range expectFold {
+			acc := identity
+			for id := 0; id < cfg.Workers; id++ {
+				acc = op(acc, contrib(int64(p), id))
+			}
+			expectFold[p] = acc
+		}
+	}
 
 	// wait drives the randomized wait flavor: a few TryWait polls (as a
-	// barrier region scheduling more work would), storms, then Wait.
-	wait := func(r *stressRNG, ph Phase) {
+	// barrier region scheduling more work would), storms, then Wait —
+	// WaitValue for the reduce barrier, whose result is returned.
+	wait := func(r *stressRNG, ph Phase) int64 {
 		for i := uint64(0); i < r.next()&7; i++ {
 			b.TryWait(ph)
 			r.storm()
 		}
-		b.Wait(ph)
+		var v int64
+		if red != nil {
+			v = red.WaitValue(ph)
+		} else {
+			b.Wait(ph)
+		}
 		waits.Add(1)
+		return v
 	}
 
 	var wg sync.WaitGroup
-	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			r := stressRNG(mix64(cfg.Seed, uint64(id)+1))
-			for p := int64(0); p < int64(cfg.Phases); p++ {
+	var permanents []*PhaserMember
+	if phs != nil {
+		permanents = make([]*PhaserMember, cfg.Workers)
+		for w := range permanents {
+			permanents[w] = phs.Register(SignalWait)
+		}
+		finalEpoch := int64(2 * cfg.Phases) // the permanents' last phase boundary
+		// Wait-only churners cannot read the plain slots: unlike a
+		// dynamic-barrier churner, a wait-only member does not gate the
+		// next phase, so the permanents' next writes have no
+		// happens-before edge to its reads — a real data race, not just
+		// bait. They check the ordering property through these atomic
+		// mirrors instead (value-level teeth only; the -race teeth for the
+		// consumer path live in TestPhaserPointToPoint, where each slot is
+		// written exactly once).
+		mirror := make([]atomic.Int64, cfg.Workers)
+		waitMember := func(r *stressRNG, m *PhaserMember, ph Phase) {
+			for i := uint64(0); i < r.next()&7; i++ {
+				m.TryWait(ph)
 				r.storm()
-				slots[id] = p + 1 // plain write, ordered only by the barrier
-				r.storm()
-				ph := b.Arrive()
-				arrivals.Add(1)
-				wait(&r, ph)
-				// Every permanent member must have written p+1 before any
-				// Wait for this phase returned.
-				for j := 0; j < cfg.Workers; j++ {
-					if slots[j] < p+1 {
-						stale.Add(1)
+			}
+			m.Wait(ph)
+			waits.Add(1)
+		}
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(id int, m *PhaserMember) {
+				defer wg.Done()
+				r := stressRNG(mix64(cfg.Seed, uint64(id)+1))
+				for p := int64(0); p < int64(cfg.Phases); p++ {
+					r.storm()
+					slots[id] = p + 1 // plain write, ordered only by the phaser
+					mirror[id].Store(p + 1)
+					r.storm()
+					ph := m.Arrive()
+					arrivals.Add(1)
+					waitMember(&r, m, ph)
+					// Every permanent signaler must have written p+1 before
+					// any Wait for this phase returned.
+					for j := 0; j < cfg.Workers; j++ {
+						if slots[j] < p+1 {
+							stale.Add(1)
+						}
+					}
+					// Close the read window with a second phase.
+					ph = m.Arrive()
+					arrivals.Add(1)
+					waitMember(&r, m, ph)
+				}
+			}(w, permanents[w])
+		}
+		for c := 0; c < cfg.Churners; c++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				r := stressRNG(mix64(cfg.Seed, uint64(cfg.Workers+id)+0x5bd1))
+				for round := 0; round < churnRounds; round++ {
+					r.storm()
+					if r.next()&1 == 0 {
+						// Signal-only producer: gates phases while registered,
+						// may run ahead of the group, never waits.
+						m := phs.Register(SignalOnly)
+						ride := 1 + r.next()&3
+						for p := uint64(0); p < ride; p++ {
+							slots[cfg.Workers+id]++ // plain write on the churner's own slot
+							m.Arrive()
+							arrivals.Add(1)
+							r.storm()
+						}
+						m.Deregister()
+					} else {
+						// Wait-only consumer: observes phase boundaries
+						// without gating them.
+						m := phs.Register(WaitOnly)
+						ride := 1 + r.next()&3
+						for p := uint64(0); p < ride; p++ {
+							ph := m.Arrive()
+							arrivals.Add(1)
+							// A ticket at or past the permanents' final phase
+							// would only be released by the drain publish,
+							// which happens after every churner has exited —
+							// waiting on it would deadlock the drain.
+							if ph.epoch < finalEpoch {
+								waitMember(&r, m, ph)
+								// The permanents' phase-e signal (e even)
+								// happens after their mirror store for logical
+								// phase e/2, and the ticket epoch is read
+								// under the phaser mutex, so waiting past the
+								// boundary guarantees every mirror already
+								// holds e/2+1 — checked on the atomic mirrors
+								// (see their declaration for why the plain
+								// slots are off limits here).
+								if ph.epoch%2 == 0 {
+									expect := ph.epoch/2 + 1
+									if max := int64(cfg.Phases); expect > max {
+										expect = max
+									}
+									for j := 0; j < cfg.Workers; j++ {
+										if mirror[j].Load() < expect {
+											stale.Add(1)
+										}
+									}
+								}
+							}
+							r.storm()
+						}
+						m.Deregister()
+					}
+					churnJoins.Add(1)
+				}
+			}(c)
+		}
+	} else {
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				r := stressRNG(mix64(cfg.Seed, uint64(id)+1))
+				for p := int64(0); p < int64(cfg.Phases); p++ {
+					r.storm()
+					slots[id] = p + 1 // plain write, ordered only by the barrier
+					r.storm()
+					var ph Phase
+					if red != nil {
+						ph = red.ArriveValue(contrib(p, id))
+					} else {
+						ph = b.Arrive()
+					}
+					arrivals.Add(1)
+					if got := wait(&r, ph); red != nil && got != expectFold[p] {
+						reduceBad.Add(1)
+					}
+					// Every permanent member must have written p+1 before any
+					// Wait for this phase returned.
+					for j := 0; j < cfg.Workers; j++ {
+						if slots[j] < p+1 {
+							stale.Add(1)
+						}
+					}
+					// Close the read window with a second phase so the reads
+					// above are ordered before the next round of writes.
+					ph = b.Arrive()
+					arrivals.Add(1)
+					if got := wait(&r, ph); red != nil && got != identity {
+						reduceBad.Add(1)
 					}
 				}
-				// Close the read window with a second phase so the reads
-				// above are ordered before the next round of writes.
-				ph = b.Arrive()
-				arrivals.Add(1)
-				wait(&r, ph)
-			}
-			if dyn != nil {
-				dyn.ArriveAndLeave()
-				arrivals.Add(1)
-			}
-		}(w)
-	}
-	for c := 0; c < cfg.Churners; c++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			r := stressRNG(mix64(cfg.Seed, uint64(cfg.Workers+id)+0x5bd1))
-			for round := 0; round < churnRounds; round++ {
-				r.storm()
-				dyn.Register()
-				ride := 1 + r.next()&3
-				for p := uint64(0); p < ride; p++ {
-					slots[cfg.Workers+id]++ // plain write on the churner's own slot
-					ph := dyn.Arrive()
+				if dyn != nil {
+					dyn.ArriveAndLeave()
 					arrivals.Add(1)
-					wait(&r, ph)
-					// The permanent members write their slots before even
-					// phases and read them back before odd phases close the
-					// window; a churner may therefore only read the slots
-					// when its ticket names an even phase — which also says
-					// exactly which value each slot must already hold. (On
-					// odd phases the permanents' next writes are concurrent
-					// with us, so reading would be a real data race; the
-					// ticket epoch is trustworthy because Arrive reads it in
-					// the same critical section that counts the arrival —
-					// the exact guarantee the mutex rework of dynamic.go
-					// added.)
-					if ph.epoch%2 == 0 {
-						expect := ph.epoch/2 + 1
-						if max := int64(cfg.Phases); expect > max {
-							expect = max
-						}
-						for j := 0; j < cfg.Workers; j++ {
-							if slots[j] < expect {
-								stale.Add(1)
+				}
+			}(w)
+		}
+		for c := 0; c < cfg.Churners; c++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				r := stressRNG(mix64(cfg.Seed, uint64(cfg.Workers+id)+0x5bd1))
+				for round := 0; round < churnRounds; round++ {
+					r.storm()
+					dyn.Register()
+					ride := 1 + r.next()&3
+					for p := uint64(0); p < ride; p++ {
+						slots[cfg.Workers+id]++ // plain write on the churner's own slot
+						ph := dyn.Arrive()
+						arrivals.Add(1)
+						wait(&r, ph)
+						// The permanent members write their slots before even
+						// phases and read them back before odd phases close the
+						// window; a churner may therefore only read the slots
+						// when its ticket names an even phase — which also says
+						// exactly which value each slot must already hold. (On
+						// odd phases the permanents' next writes are concurrent
+						// with us, so reading would be a real data race; the
+						// ticket epoch is trustworthy because Arrive reads it in
+						// the same critical section that counts the arrival —
+						// the exact guarantee the mutex rework of dynamic.go
+						// added.)
+						if ph.epoch%2 == 0 {
+							expect := ph.epoch/2 + 1
+							if max := int64(cfg.Phases); expect > max {
+								expect = max
+							}
+							for j := 0; j < cfg.Workers; j++ {
+								if slots[j] < expect {
+									stale.Add(1)
+								}
 							}
 						}
 					}
+					dyn.ArriveAndLeave()
+					arrivals.Add(1)
+					churnJoins.Add(1)
 				}
-				dyn.ArriveAndLeave()
-				arrivals.Add(1)
-				churnJoins.Add(1)
-			}
-		}(c)
+			}(c)
+		}
 	}
 	wg.Wait()
 
-	rep.Stats = b.StatsSnapshot()
-	rep.Epoch = b.Epoch()
+	if phs != nil {
+		// Permanents leave last; the final Deregister drains the phaser
+		// and publishes the closing episode.
+		for _, m := range permanents {
+			m.Deregister()
+		}
+		rep.Stats = phs.StatsSnapshot()
+		rep.Epoch = phs.Epoch()
+	} else {
+		rep.Stats = b.StatsSnapshot()
+		rep.Epoch = b.Epoch()
+	}
 	rep.StaleReads = stale.Load()
 	rep.ChurnJoins = churnJoins.Load()
 	rep.Arrivals = arrivals.Load()
 	rep.Waits = waits.Load()
-	rep.check(dyn)
+	rep.ReduceBad = reduceBad.Load()
+	rep.check(dyn, phs)
 	return rep, nil
 }
 
 // check cross-validates the barrier's counters against the harness's
 // own accounting and the stats invariants.
-func (rep *StressReport) check(dyn *DynamicBarrier) {
+func (rep *StressReport) check(dyn *DynamicBarrier, phs *Phaser) {
 	cfg, s := rep.Config, rep.Stats
 	if rep.StaleReads > 0 {
 		rep.violatef("%d stale slot reads: some Wait returned before every member arrived", rep.StaleReads)
+	}
+	if rep.ReduceBad > 0 {
+		rep.violatef("%d reduce results (op %s) differed from the serial fold", rep.ReduceBad, rep.ReduceOp)
 	}
 	if s.Arrivals != rep.Arrivals {
 		rep.violatef("stats.Arrivals = %d, harness issued %d", s.Arrivals, rep.Arrivals)
@@ -293,25 +497,39 @@ func (rep *StressReport) check(dyn *DynamicBarrier) {
 	for _, c := range s.WaitSpins {
 		hist += c
 	}
-	if hist != s.SpinWaits {
-		rep.violatef("wait-spin histogram sums to %d, SpinWaits = %d", hist, s.SpinWaits)
+	if want := s.Waits(); hist != want {
+		rep.violatef("wait-spin histogram sums to %d, Waits() = %d", hist, want)
+	}
+	if exhausted := s.WaitSpins[NumWaitBuckets-1]; exhausted != s.LockWaits+s.Blocks {
+		rep.violatef("exhausted bucket = %d, LockWaits+Blocks = %d", exhausted, s.LockWaits+s.Blocks)
 	}
 	if s.SpinIters < s.SpinWaits {
 		rep.violatef("SpinIters = %d < SpinWaits = %d (each spin-resolved Wait needs >= 1 iteration)",
 			s.SpinIters, s.SpinWaits)
 	}
-	if dyn == nil {
-		// Fixed membership: exactly 2 phases per logical phase, every
-		// worker waits on both.
-		if want := int64(2 * cfg.Phases); rep.Epoch != want {
-			rep.violatef("epoch = %d, want %d", rep.Epoch, want)
-		}
-	} else {
+	switch {
+	case dyn != nil:
 		if m := dyn.Members(); m != 0 {
 			rep.violatef("members after drain = %d, want 0", m)
 		}
 		if want := int64(2 * cfg.Phases); rep.Epoch < want {
 			rep.violatef("epoch = %d, want >= %d", rep.Epoch, want)
+		}
+	case phs != nil:
+		if m := phs.Members(); m != 0 {
+			rep.violatef("phaser members after drain = %d, want 0", m)
+		}
+		// The permanents' signals complete exactly 2*Phases phases (the
+		// transient signalers never lag past their deregistration), and
+		// the drain publishes exactly one more.
+		if want := int64(2*cfg.Phases) + 1; rep.Epoch != want {
+			rep.violatef("epoch = %d, want %d", rep.Epoch, want)
+		}
+	default:
+		// Fixed membership: exactly 2 phases per logical phase, every
+		// worker waits on both.
+		if want := int64(2 * cfg.Phases); rep.Epoch != want {
+			rep.violatef("epoch = %d, want %d", rep.Epoch, want)
 		}
 	}
 }

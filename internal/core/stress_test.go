@@ -75,14 +75,72 @@ func TestStressDynamicChurn(t *testing.T) {
 	t.Logf("%s", rep)
 }
 
+// TestStressReduce hammers the reduce barrier: every WaitValue result is
+// compared against the serial fold of that phase's contributions. The
+// seeds are chosen so every operator in the harness's {sum, xor, min,
+// max} family is drawn at least once (logged for inspection), and both
+// spin budgets steer Waits onto every slow-path flavor.
+func TestStressReduce(t *testing.T) {
+	phases := stressPhases(t)
+	seen := map[string]bool{}
+	for _, seed := range []uint64{0x5eed, 0x5eed + 1, 0x5eed + 2, 0x5eed + 3, 0xfeed, 0xdead} {
+		for _, spin := range []int{0, 1} {
+			rep, err := Stress(StressConfig{
+				Barrier: "reduce", Workers: 4, Phases: phases,
+				Seed: seed, SpinLimit: spin, TreeRadix: 2,
+			})
+			if err != nil {
+				t.Fatalf("seed=%#x spin=%d: %v", seed, spin, err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("seed=%#x spin=%d: %s", seed, spin, v)
+			}
+			seen[rep.ReduceOp] = true
+			t.Logf("%s", rep)
+		}
+	}
+	for _, op := range []string{"sum", "xor", "min", "max"} {
+		if !seen[op] {
+			t.Errorf("operator %q never drawn by the seed set — extend the seeds", op)
+		}
+	}
+}
+
+// TestStressPhaser runs the phaser under permanent signal+wait members
+// with signal-only and wait-only churners registering and leaving
+// against live phases.
+func TestStressPhaser(t *testing.T) {
+	phases := stressPhases(t)
+	for _, churners := range []int{0, 4} {
+		for _, spin := range []int{0, 1} {
+			rep, err := Stress(StressConfig{
+				Barrier: "phaser", Workers: 4, Phases: phases,
+				Seed: 0x9a5e, SpinLimit: spin, Churners: churners,
+			})
+			if err != nil {
+				t.Fatalf("churners=%d spin=%d: %v", churners, spin, err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("churners=%d spin=%d: %s", churners, spin, v)
+			}
+			if churners > 0 && rep.ChurnJoins == 0 {
+				t.Error("phaser churners never completed a register/leave round")
+			}
+			t.Logf("%s", rep)
+		}
+	}
+}
+
 // TestStressConfigErrors: invalid configs are rejected up front.
 func TestStressConfigErrors(t *testing.T) {
 	for _, cfg := range []StressConfig{
 		{Barrier: "nope", Workers: 2, Phases: 10},
 		{Barrier: "fuzzy", Workers: 0, Phases: 10},
 		{Barrier: "fuzzy", Workers: 2, Phases: 0},
-		{Barrier: "fuzzy", Workers: 2, Phases: 10, Churners: 1},  // churn needs dynamic
+		{Barrier: "fuzzy", Workers: 2, Phases: 10, Churners: 1},  // churn needs dynamic or phaser
+		{Barrier: "reduce", Workers: 2, Phases: 10, Churners: 1}, // reduce has fixed membership
 		{Barrier: "dynamic", Workers: 2, Phases: 4, Churners: 1}, // churn needs >= 8 phases
+		{Barrier: "phaser", Workers: 2, Phases: 4, Churners: 1},  // same bound for phaser churn
 		{Barrier: "dynamic", Workers: 2, Phases: 10, Churners: -1},
 	} {
 		if _, err := Stress(cfg); err == nil {

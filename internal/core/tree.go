@@ -58,6 +58,64 @@ type treeBarrierNode struct {
 // DefaultTreeRadix is the fan-in used by NewTreeBarrier.
 const DefaultTreeRadix = 4
 
+// treeShape is the combining-tree layout shared by TreeBarrier and
+// ReduceBarrier: per-node quotas and parent links, nodes stored leaves
+// first then interior levels bottom-up, root last with parent -1.
+type treeShape struct {
+	quotas  []int64
+	parents []int
+	nLeaves int
+}
+
+// buildTreeShape lays out a radix-k combining tree for n participants:
+// leaf per-phase capacities sum to exactly n (the last leaf may be
+// partial) and each interior node's quota is its child count.
+func buildTreeShape(n, radix int) treeShape {
+	nLeaves := (n + radix - 1) / radix
+	s := treeShape{nLeaves: nLeaves}
+	s.quotas = make([]int64, 0, 2*nLeaves)
+	s.parents = make([]int, 0, 2*nLeaves)
+	for i := 0; i < nLeaves; i++ {
+		q := radix
+		if i == nLeaves-1 {
+			q = n - radix*(nLeaves-1)
+		}
+		s.quotas = append(s.quotas, int64(q))
+		s.parents = append(s.parents, -1)
+	}
+	first, count := 0, nLeaves
+	for count > 1 {
+		inner := (count + radix - 1) / radix
+		base := len(s.quotas)
+		for i := 0; i < inner; i++ {
+			q := radix
+			if i == inner-1 {
+				q = count - radix*(inner-1)
+			}
+			s.quotas = append(s.quotas, int64(q))
+			s.parents = append(s.parents, -1)
+		}
+		for i := 0; i < count; i++ {
+			s.parents[first+i] = base + i/radix
+		}
+		first, count = base, inner
+	}
+	return s
+}
+
+// homeLeaf hashes the caller's stack address to a leaf index in
+// [0, nLeaves). Distinct goroutines occupy distinct stacks, so a worker
+// group spreads across leaves while each worker keeps re-hitting the
+// same warm leaf. Stack bases are allocation-size aligned, so the raw
+// address must be mixed (Fibonacci hashing) before reduction or most
+// bits collide. (The address is only hashed, never dereferenced or
+// retained.)
+func homeLeaf(nLeaves int) int {
+	var probe byte
+	h := uint64(uintptr(unsafe.Pointer(&probe))) * 0x9E3779B97F4A7C15
+	return int((h >> 32) % uint64(nLeaves))
+}
+
 // NewTreeBarrier creates a combining-tree fuzzy barrier for n
 // participants (n >= 1) with the default radix.
 func NewTreeBarrier(n int) *TreeBarrier { return NewTreeBarrierRadix(n, DefaultTreeRadix) }
@@ -74,33 +132,12 @@ func NewTreeBarrierRadix(n, radix int) *TreeBarrier {
 	b := &TreeBarrier{n: n, radix: radix}
 	b.w.init()
 
-	// Leaves: per-phase capacities sum to exactly n.
-	nLeaves := (n + radix - 1) / radix
-	b.nLeaves = nLeaves
-	b.nodes = make([]treeBarrierNode, 0, 2*nLeaves)
-	for i := 0; i < nLeaves; i++ {
-		q := radix
-		if i == nLeaves-1 {
-			q = n - radix*(nLeaves-1)
-		}
-		b.nodes = append(b.nodes, treeBarrierNode{quota: int64(q), parent: -1})
-	}
-	// Interior levels: each node's quota is its child count.
-	first, count := 0, nLeaves
-	for count > 1 {
-		inner := (count + radix - 1) / radix
-		base := len(b.nodes)
-		for i := 0; i < inner; i++ {
-			q := radix
-			if i == inner-1 {
-				q = count - radix*(inner-1)
-			}
-			b.nodes = append(b.nodes, treeBarrierNode{quota: int64(q), parent: -1})
-		}
-		for i := 0; i < count; i++ {
-			b.nodes[first+i].parent = base + i/radix
-		}
-		first, count = base, inner
+	shape := buildTreeShape(n, radix)
+	b.nLeaves = shape.nLeaves
+	b.nodes = make([]treeBarrierNode, len(shape.quotas))
+	for i := range b.nodes {
+		b.nodes[i].quota = shape.quotas[i]
+		b.nodes[i].parent = shape.parents[i]
 	}
 	return b
 }
@@ -121,6 +158,9 @@ func (b *TreeBarrier) Depth() int {
 	}
 	return d
 }
+
+// Leaves returns the number of leaf counters.
+func (b *TreeBarrier) Leaves() int { return b.nLeaves }
 
 // Epoch returns the number of completed synchronization episodes.
 func (b *TreeBarrier) Epoch() int64 { return b.w.epoch.Load() }
@@ -165,19 +205,24 @@ func (b *TreeBarrier) HotspotOps() (ops, phases int64) {
 // remote value: at most nLeaves-1 fruitless probes plus a Depth-bounded
 // climb.
 func (b *TreeBarrier) Arrive() Phase {
+	return b.arriveAt(homeLeaf(b.nLeaves))
+}
+
+// ArriveLeaf is Arrive with a caller-chosen home leaf instead of the
+// stack-address hash: identical probe-on-full semantics, but the routing
+// is deterministic — what the probe/undo tests and the deterministic
+// experiment drives need. leaf must be in [0, Leaves()).
+func (b *TreeBarrier) ArriveLeaf(leaf int) Phase {
+	if leaf < 0 || leaf >= b.nLeaves {
+		panic(fmt.Sprintf("core: tree barrier leaf %d out of range [0,%d)", leaf, b.nLeaves))
+	}
+	return b.arriveAt(leaf)
+}
+
+func (b *TreeBarrier) arriveAt(leaf int) Phase {
 	b.stats.Arrivals.Add(1)
 	e := b.w.epoch.Load()
 	target := e + 1
-
-	// Home leaf from the caller's stack address: distinct goroutines
-	// occupy distinct stacks, so a worker group spreads across leaves
-	// while each worker keeps re-hitting the same warm leaf. Stack bases
-	// are allocation-size aligned, so the raw address must be mixed
-	// (Fibonacci hashing) before reduction or most bits collide. (The
-	// address is only hashed, never dereferenced or retained.)
-	var probe byte
-	h := uint64(uintptr(unsafe.Pointer(&probe))) * 0x9E3779B97F4A7C15
-	leaf := int((h >> 32) % uint64(b.nLeaves))
 
 	for {
 		nd := &b.nodes[leaf]

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -301,4 +302,122 @@ func itoa2(n int) string {
 		n /= 10
 	}
 	return s
+}
+
+// TestTreeBarrierProbeUndoDeterministic drives every arrival to leaf 0
+// via ArriveLeaf, so the probe path is exercised with a known answer:
+// the i-th arrival of a phase probes past every already-full leaf before
+// its slot, giving exactly sum over leaves j of j*quota(j) probes per
+// phase, and the cumulative counters end each phase at exactly
+// quota*(phase+1) — the overshoot-undo invariant with no slack.
+func TestTreeBarrierProbeUndoDeterministic(t *testing.T) {
+	const n, radix, phases = 11, 3, 5
+	b := NewTreeBarrierRadix(n, radix)
+	var perPhase, total int64
+	for j := 0; j < b.Leaves(); j++ {
+		perPhase += int64(j) * b.nodes[j].quota
+		total += b.nodes[j].quota
+	}
+	if total != n {
+		t.Fatalf("leaf quotas sum to %d, want %d", total, n)
+	}
+	for p := int64(0); p < phases; p++ {
+		var ph Phase
+		for id := 0; id < n; id++ {
+			ph = b.ArriveLeaf(0)
+		}
+		b.Wait(ph)
+		if got, want := b.Probes(), (p+1)*perPhase; got != want {
+			t.Errorf("after phase %d: Probes() = %d, want %d", p, got, want)
+		}
+		for i := range b.nodes {
+			if got, want := b.nodes[i].count.Load(), b.nodes[i].quota*(p+1); got != want {
+				t.Errorf("after phase %d: node %d count = %d, want exactly %d", p, i, got, want)
+			}
+		}
+	}
+	if b.Epoch() != phases {
+		t.Errorf("epoch = %d, want %d", b.Epoch(), phases)
+	}
+}
+
+// TestTreeBarrierCollisionInvariant hammers one home leaf from many
+// goroutines — the worst case the stack-address hash is supposed to
+// avoid — and checks the overshoot-undo invariant concurrently: a node's
+// cumulative count never dips below the target of any completed phase
+// (every undo cancels only its own overshoot), every phase ends with
+// every node at exactly quota*phase (one climber per node per phase),
+// and the colliders really did probe.
+func TestTreeBarrierCollisionInvariant(t *testing.T) {
+	const workers, phases, radix = 9, 150, 2
+	b := NewTreeBarrierRadix(workers, radix)
+	stop := make(chan struct{})
+	var below atomic.Int64
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Load the epoch first: the invariant count >= quota*e holds
+			// for any e that was complete at or before the count read.
+			e := b.Epoch()
+			for i := range b.nodes {
+				if b.nodes[i].count.Load() < b.nodes[i].quota*e {
+					below.Add(1)
+				}
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := 0; p < phases; p++ {
+				b.Wait(b.ArriveLeaf(0)) // everyone collides on leaf 0
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+
+	if n := below.Load(); n > 0 {
+		t.Errorf("%d samples saw a count below a completed phase's target (undo leaked)", n)
+	}
+	for i := range b.nodes {
+		if got, want := b.nodes[i].count.Load(), b.nodes[i].quota*phases; got != want {
+			t.Errorf("node %d final count = %d, want exactly %d (one climber per node per phase)", i, got, want)
+		}
+	}
+	// Leaf 0 holds radix slots per phase; the other workers-radix
+	// arrivals of every phase must have probed at least once.
+	if minProbes := int64(phases * (workers - radix)); b.Probes() < minProbes {
+		t.Errorf("Probes() = %d, want >= %d", b.Probes(), minProbes)
+	}
+	if b.Epoch() != phases {
+		t.Errorf("epoch = %d, want %d", b.Epoch(), phases)
+	}
+}
+
+// TestTreeBarrierArriveLeafPanics: leaf-range validation.
+func TestTreeBarrierArriveLeafPanics(t *testing.T) {
+	b := NewTreeBarrier(8)
+	for _, leaf := range []int{-1, b.Leaves()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ArriveLeaf(%d): expected panic", leaf)
+				}
+			}()
+			b.ArriveLeaf(leaf)
+		}()
+	}
 }

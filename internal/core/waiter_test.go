@@ -1,0 +1,174 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// startExhaustedWaiter launches a waiter that is guaranteed to burn its
+// whole spin budget: the test holds w.mu, so the waiter cannot reach the
+// locked recheck, and the returned function blocks until the waiter has
+// recorded the exhausted histogram bucket — which happens strictly
+// before its mu.Lock, so once observed the waiter's fate is decided
+// entirely by what the test does with the mutex and the epoch.
+func startExhaustedWaiter(t *testing.T, w *phaseWaiter, stats *RuntimeStats) (awaitExhausted, awaitDone func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		w.wait(Phase{epoch: 0}, 4, stats)
+		close(done)
+	}()
+	awaitExhausted = func() {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for stats.waitSpins[NumWaitBuckets-1].Load() == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("waiter never exhausted its spin budget")
+			}
+			runtime.Gosched()
+		}
+	}
+	awaitDone = func() {
+		t.Helper()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("waiter never returned")
+		}
+	}
+	return awaitExhausted, awaitDone
+}
+
+// TestWaitLockResolvedIsNotABlock is the regression test for the Blocks
+// misattribution: a Wait that exhausts its spin budget but finds the
+// epoch already published at the locked recheck never sleeps on the
+// condition variable, so it must be charged as a LockWait, not a Block.
+// The old code bumped Blocks before taking the mutex, counting this
+// no-context-switch outcome as the expensive case Section 8 isolates.
+//
+// The lock-but-no-sleep window is driven deterministically: the test
+// holds the waiter mutex across the whole spin phase, then advances the
+// epoch while still holding it, so the waiter's recheck — the first
+// thing it can do after the spins — is guaranteed to see the phase
+// complete.
+func TestWaitLockResolvedIsNotABlock(t *testing.T) {
+	var w phaseWaiter
+	w.init()
+	var stats RuntimeStats
+
+	w.mu.Lock()
+	awaitExhausted, awaitDone := startExhaustedWaiter(t, &w, &stats)
+	awaitExhausted()
+	// Publish under the mutex the waiter is parked on: when it acquires
+	// the lock, the recheck must resolve the wait without a sleep.
+	w.epoch.Add(1)
+	w.mu.Unlock()
+	awaitDone()
+
+	s := stats.Snapshot()
+	if s.Blocks != 0 {
+		t.Errorf("Blocks = %d, want 0: a lock-resolved Wait was counted as a block", s.Blocks)
+	}
+	if s.LockWaits != 1 {
+		t.Errorf("LockWaits = %d, want 1", s.LockWaits)
+	}
+	if s.FastWaits != 0 || s.SpinWaits != 0 {
+		t.Errorf("FastWaits = %d, SpinWaits = %d, want 0, 0", s.FastWaits, s.SpinWaits)
+	}
+	checkHistogramReconciles(t, s)
+}
+
+// TestWaitRealBlockStillCounted is the other half of the regression: a
+// Wait that reaches the locked recheck with the phase still pending must
+// be charged as a Block (it provably sleeps — the recheck runs under the
+// same mutex publish advances the epoch under).
+func TestWaitRealBlockStillCounted(t *testing.T) {
+	var w phaseWaiter
+	w.init()
+	var stats RuntimeStats
+
+	w.mu.Lock()
+	awaitExhausted, awaitDone := startExhaustedWaiter(t, &w, &stats)
+	awaitExhausted()
+	// Release the mutex without advancing the epoch: the recheck fails
+	// and the waiter sleeps on the condition variable.
+	w.mu.Unlock()
+	deadline := time.Now().Add(10 * time.Second)
+	for stats.Blocks.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never took the block path")
+		}
+		runtime.Gosched()
+	}
+	// Blocks is charged with the mutex held and cond.Wait entered before
+	// it is released, so publish (which takes the same mutex) cannot
+	// slip in between the recheck and the sleep.
+	w.publish()
+	awaitDone()
+
+	s := stats.Snapshot()
+	if s.Blocks != 1 {
+		t.Errorf("Blocks = %d, want 1", s.Blocks)
+	}
+	if s.LockWaits != 0 {
+		t.Errorf("LockWaits = %d, want 0", s.LockWaits)
+	}
+	checkHistogramReconciles(t, s)
+}
+
+// TestWaitFastAndSpinBuckets covers the resolved outcomes: a fast Wait
+// lands in the first bucket with zero iterations, and a spin-resolved
+// Wait is charged both an outcome and a bucket.
+func TestWaitFastAndSpinBuckets(t *testing.T) {
+	var w phaseWaiter
+	w.init()
+	var stats RuntimeStats
+
+	w.publish()
+	w.wait(Phase{epoch: 0}, 4, &stats)
+	s := stats.Snapshot()
+	if s.FastWaits != 1 || s.WaitSpins[0] != 1 {
+		t.Errorf("fast wait: FastWaits = %d, bucket0 = %d, want 1, 1", s.FastWaits, s.WaitSpins[0])
+	}
+	checkHistogramReconciles(t, s)
+
+	// Spin-resolved: publish concurrently while the waiter spins with a
+	// huge budget, so it resolves during the spin loop.
+	done := make(chan struct{})
+	go func() {
+		w.wait(Phase{epoch: 1}, 1<<30, &stats)
+		close(done)
+	}()
+	w.publish()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("spinning waiter never resolved")
+	}
+	s = stats.Snapshot()
+	if s.SpinWaits+s.FastWaits != 2 {
+		t.Errorf("after second wait: FastWaits+SpinWaits = %d, want 2", s.SpinWaits+s.FastWaits)
+	}
+	if s.SpinWaits == 1 && s.SpinIters < 1 {
+		t.Errorf("SpinIters = %d, want >= 1 for a spin-resolved Wait", s.SpinIters)
+	}
+	checkHistogramReconciles(t, s)
+}
+
+// checkHistogramReconciles asserts the bucket bookkeeping: the histogram
+// total equals Waits() and the exhausted bucket holds exactly the waits
+// that burned their whole budget (LockWaits + Blocks).
+func checkHistogramReconciles(t *testing.T, s BarrierStats) {
+	t.Helper()
+	var hist int64
+	for _, c := range s.WaitSpins {
+		hist += c
+	}
+	if hist != s.Waits() {
+		t.Errorf("histogram sums to %d, Waits() = %d", hist, s.Waits())
+	}
+	if got := s.WaitSpins[NumWaitBuckets-1]; got != s.LockWaits+s.Blocks {
+		t.Errorf("exhausted bucket = %d, LockWaits+Blocks = %d", got, s.LockWaits+s.Blocks)
+	}
+}

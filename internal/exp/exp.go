@@ -1,5 +1,5 @@
 // Package exp regenerates the paper's evaluation: one function per table
-// or figure (see DESIGN.md's per-experiment index, E1..E17). Each
+// or figure (see DESIGN.md's per-experiment index, E1..E18). Each
 // experiment returns a trace.Table whose rows are the series the paper
 // reports; EXPERIMENTS.md records the expected shapes next to the paper's
 // numbers.
@@ -69,6 +69,7 @@ func All() []Experiment {
 		{"E15", "Cluster sync cost vs. region size over a lossy network (extension)", E15ClusterSync},
 		{"E16", "Cluster barrier scaling to 4096 nodes (extension)", E16ClusterScaling},
 		{"E17", "Exhaustive model checking + exact stall oracle (verification extension)", E17ModelCheckAndOracle},
+		{"E18", "Fleet epoch aggregation: reduce-barrier allreduce vs central gather (extension)", E18FleetAggregation},
 	}
 }
 

@@ -334,3 +334,37 @@ func TestE15RegionAbsorbsClusterSync(t *testing.T) {
 		}
 	}
 }
+
+// TestE18ReduceDeHotspots checks E18's headline shape: the spread
+// allreduce's hottest node is constant in fleet size, while the central
+// gather word and the clustered (leaf-0) routing both absorb ~one
+// operation per member per phase — linear hot spots.
+func TestE18ReduceDeHotspots(t *testing.T) {
+	tbl, err := E18FleetAggregation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nN := len(e18N)
+	if tbl.NumRows() != len(e18Strategies)*nN {
+		t.Fatalf("rows = %d, want %d", tbl.NumRows(), len(e18Strategies)*nN)
+	}
+	// Rows are strategy-major in e18Strategies order; hotspot is column 5.
+	central := func(i int) float64 { return cell(t, tbl, i, 5) }
+	spread := func(i int) float64 { return cell(t, tbl, nN+i, 5) }
+	clustered := func(i int) float64 { return cell(t, tbl, 2*nN+i, 5) }
+	for i := 1; i < nN; i++ {
+		if spread(i) != spread(0) {
+			t.Errorf("reduce-spread hotspot at n=%d is %v, want constant %v", e18N[i], spread(i), spread(0))
+		}
+	}
+	last := nN - 1
+	n := float64(e18N[last])
+	if central(last) < n || clustered(last) < n {
+		t.Errorf("at n=%d: central=%v clustered=%v, both should be >= n (linear hot spot)",
+			e18N[last], central(last), clustered(last))
+	}
+	if spread(last)*10 > central(last) {
+		t.Errorf("at n=%d: spread hotspot %v should be >=10x below central %v",
+			e18N[last], spread(last), central(last))
+	}
+}
