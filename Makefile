@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race bench bench-smoke bench-gate fmt-check check
+.PHONY: verify build vet test race bench bench-smoke bench-smoke-multicore bench-gate fmt-check check
 
 verify: build vet race check fmt-check
 
@@ -31,23 +31,39 @@ bench:
 # points, the allocs/op=0 check on the barrier hot path, the fast-forward,
 # sweep-pool, and cluster-engine before/after benchmarks, and a
 # machine-readable barbench run (-sim adds the before/after pairs)
-# archived as BENCH_SMOKE.json.
+# archived as BENCH_SMOKE.json. The two barrierload runs merge the
+# epoch-service latency numbers (million-client in-process, 10k-client
+# loopback UDP) into the same file under "barrierd_load"; every entry
+# carries maxprocs so single-core results are interpretable.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'E2SplitScaling/[^/]*/p8/region=0$$' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'BarrierHotPathAllocs' -benchtime 100x -benchmem ./internal/core
 	$(GO) test -run '^$$' -bench 'MachineFastForward|SweepParallel' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'ClusterEngine' -benchtime 1x -benchmem .
 	$(GO) run ./cmd/barbench -procs 2 -episodes 5000 -json -sim > BENCH_SMOKE.json
+	$(GO) run ./cmd/barrierload -clients 1000000 -groups 4 -conns 32 -epochs 4 -merge BENCH_SMOKE.json
+	$(GO) run ./cmd/barrierload -transport udp -clients 10000 -groups 2 -conns 8 -epochs 4 -merge BENCH_SMOKE.json
 	@head -c 200 BENCH_SMOKE.json; echo; echo "wrote BENCH_SMOKE.json"
+
+# bench-smoke pinned to every available core: refuses to run on a
+# single-core host (the speedup columns would be vacuous there) and
+# makes the GOMAXPROCS recorded in BENCH_SMOKE.json explicit.
+bench-smoke-multicore:
+	@n=$$(nproc); if [ "$$n" -lt 2 ]; then \
+		echo "bench-smoke-multicore: need >= 2 CPUs, have $$n (use bench-smoke)"; exit 1; fi
+	GOMAXPROCS=$$(nproc) $(MAKE) bench-smoke
 
 # Perf regression gates: fail if fast-forwarded machine.Run is not
 # comfortably faster than the naive per-cycle loop on a stall-heavy
-# workload (threshold 1.2x; typical measured ratio is ~10x), or if the
+# workload (threshold 1.2x; typical measured ratio is ~10x), if the
 # typed-event cluster engine is not >= 3x the closure heap on a lossy
-# 256/1024-node sweep.
+# 256/1024-node sweep, or if the sweep worker pool is not >= 1.2x on the
+# E15 grid (that gate self-skips when GOMAXPROCS=1 — one core cannot
+# show a parallel speedup).
 bench-gate:
 	BENCH_GATE=1 $(GO) test -run TestFastForwardSpeedupGate -count=1 -v ./internal/machine
 	BENCH_GATE=1 $(GO) test -run TestClusterEngineSpeedupGate -count=1 -v ./internal/cluster
+	BENCH_GATE=1 $(GO) test -run TestSweepParallelSpeedupGate -count=1 -v ./internal/exp
 
 # Model checking + weak-memory stress, CI-sized (<60s): exhaustively
 # verify every cluster protocol at n<=3 under the full adversary
@@ -56,10 +72,14 @@ bench-gate:
 # randomized schedules under the race detector — TestStress* covers the
 # reduce-barrier fold check and phaser churn, TestRace* the plain-slot
 # ordering baits. The wide n=4 sweep and full-length stress runs live
-# behind the non-short suite (`make race`).
+# behind the non-short suite (`make race`). The final line runs a short
+# native-fuzz burst over the transport wire codec (the seed corpus plus
+# 500 mutated inputs) so codec regressions surface pre-merge without a
+# long fuzzing session.
 check:
 	$(GO) test -short -count=1 ./internal/check
 	$(GO) test -race -short -count=1 -run 'TestStress|TestRace' ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzMessageCodec -fuzztime 500x ./internal/transport
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

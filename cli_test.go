@@ -5,6 +5,7 @@
 package fuzzybarrier_test
 
 import (
+	"bufio"
 	"encoding/json"
 	"os"
 	"os/exec"
@@ -31,7 +32,7 @@ func buildTools(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"experiments", "fuzzsim", "fuzzcc", "barbench", "clustersim"} {
+		for _, tool := range []string{"experiments", "fuzzsim", "fuzzcc", "barbench", "clustersim", "barrierd", "barrierload"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, tool), "./cmd/"+tool)
 			out, err := cmd.CombinedOutput()
 			if err != nil {
@@ -300,6 +301,105 @@ func TestCLIClustersimSeedSweep(t *testing.T) {
 	}
 	if serial != pooled {
 		t.Errorf("-parallel changed the transcript:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, pooled)
+	}
+}
+
+func TestCLIBarrierdSmoke(t *testing.T) {
+	dir := buildTools(t)
+	out, err := runTool(t, dir, "barrierd", "-shards", "2", "-duration", "300ms")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"shard 0 listening on", "shard 1 listening on", "barrierd: shards=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIBarrierloadInproc(t *testing.T) {
+	dir := buildTools(t)
+	merged := filepath.Join(t.TempDir(), "smoke.json")
+	out, err := runTool(t, dir, "barrierload",
+		"-clients", "2000", "-groups", "2", "-conns", "4", "-epochs", "3",
+		"-json", "-merge", merged)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	i := strings.Index(out, "{")
+	if i < 0 {
+		t.Fatalf("no JSON object in output:\n%s", out)
+	}
+	var rep struct {
+		Transport string `json:"transport"`
+		Clients   int    `json:"clients"`
+		MaxProcs  int    `json:"maxprocs"`
+		Points    []struct {
+			P50Ms   float64 `json:"p50_ms"`
+			P99Ms   float64 `json:"p99_ms"`
+			Samples int     `json:"samples"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal([]byte(out[i:]), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if rep.Transport != "inproc" || rep.Clients != 2000 || rep.MaxProcs < 1 {
+		t.Errorf("unexpected report header: %+v", rep)
+	}
+	if len(rep.Points) != 1 || rep.Points[0].Samples != 6 ||
+		rep.Points[0].P50Ms <= 0 || rep.Points[0].P99Ms < rep.Points[0].P50Ms {
+		t.Errorf("implausible latency point: %+v", rep.Points)
+	}
+	// The merge file holds the same report under "barrierd_load".
+	buf, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("merge file is not a JSON object: %v\n%s", err, buf)
+	}
+	if _, ok := doc["barrierd_load"]; !ok {
+		t.Errorf("merge file missing barrierd_load:\n%s", buf)
+	}
+}
+
+// TestCLIBarrierloadDrivesExternalBarrierd is the loopback end-to-end:
+// a real barrierd process on ephemeral UDP ports, driven by a separate
+// barrierload process that connects to the printed addresses.
+func TestCLIBarrierloadDrivesExternalBarrierd(t *testing.T) {
+	dir := buildTools(t)
+	srv := exec.Command(filepath.Join(dir, "barrierd"), "-shards", "2", "-duration", "60s")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	var addrs []string
+	sc := bufio.NewScanner(stdout)
+	for len(addrs) < 2 && sc.Scan() {
+		fields := strings.Fields(sc.Text()) // "shard I listening on ADDR"
+		if len(fields) == 5 && fields[0] == "shard" {
+			addrs = append(addrs, fields[4])
+		}
+	}
+	if len(addrs) < 2 {
+		t.Fatalf("barrierd printed %d listening lines: %v", len(addrs), addrs)
+	}
+	out, err := runTool(t, dir, "barrierload",
+		"-transport", "udp", "-connect", strings.Join(addrs, ","),
+		"-clients", "500", "-groups", "2", "-conns", "4", "-epochs", "3")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "transport=udp") || !strings.Contains(out, "p99=") {
+		t.Errorf("missing load report:\n%s", out)
 	}
 }
 

@@ -45,6 +45,7 @@ type record struct {
 	Split      bool        `json:"split"`
 	Procs      int         `json:"procs"`
 	Episodes   int         `json:"episodes"`
+	MaxProcs   int         `json:"maxprocs"`
 	Work       int         `json:"work,omitempty"`
 	Region     int         `json:"region,omitempty"`
 	TotalNs    int64       `json:"total_ns"`
@@ -186,7 +187,8 @@ func main() {
 				s := b.StatsSnapshot()
 				records = append(records, record{
 					Impl: name, Split: true, Procs: *procs, Episodes: *episodes,
-					Work: *work, Region: *region,
+					MaxProcs: runtime.GOMAXPROCS(0),
+					Work:     *work, Region: *region,
 					TotalNs: d.Nanoseconds(), NsPerEp: d.Nanoseconds() / int64(*episodes),
 					HotspotOps: hotspotPerPhase,
 					Stats: &splitStats{
@@ -216,7 +218,8 @@ func main() {
 		if *jsonOut {
 			records = append(records, record{
 				Impl: name, Procs: *procs, Episodes: *episodes,
-				TotalNs: d.Nanoseconds(), NsPerEp: d.Nanoseconds() / int64(*episodes),
+				MaxProcs: runtime.GOMAXPROCS(0),
+				TotalNs:  d.Nanoseconds(), NsPerEp: d.Nanoseconds() / int64(*episodes),
 			})
 			continue
 		}

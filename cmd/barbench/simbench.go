@@ -24,9 +24,10 @@ type simReport struct {
 // per-cycle stepping, after = fast-forward) on a stall-heavy drift
 // workload.
 type ffReport struct {
-	Procs int `json:"procs"`
-	Iters int `json:"iters"`
-	Reps  int `json:"reps"`
+	Procs    int `json:"procs"`
+	Iters    int `json:"iters"`
+	Reps     int `json:"reps"`
+	MaxProcs int `json:"maxprocs"`
 	simReport
 }
 
@@ -51,6 +52,7 @@ type clusterReport struct {
 	Nodes    int    `json:"nodes"`
 	Epochs   int    `json:"epochs"`
 	Reps     int    `json:"reps"`
+	MaxProcs int    `json:"maxprocs"`
 	simReport
 }
 
@@ -119,6 +121,7 @@ func measureFastForward(procs, iters, reps int) (ffReport, error) {
 	}
 	return ffReport{
 		Procs: procs, Iters: iters, Reps: reps,
+		MaxProcs: runtime.GOMAXPROCS(0),
 		simReport: simReport{
 			BeforeNs: before.Nanoseconds(), AfterNs: after.Nanoseconds(),
 			Speedup: speedup(before, after),
@@ -154,6 +157,7 @@ func measureClusterEngine(nodes, epochs, reps int) (clusterReport, error) {
 	}
 	return clusterReport{
 		Protocol: proto, Nodes: nodes, Epochs: epochs, Reps: reps,
+		MaxProcs: runtime.GOMAXPROCS(0),
 		simReport: simReport{
 			BeforeNs: before.Nanoseconds(), AfterNs: after.Nanoseconds(),
 			Speedup: speedup(before, after),

@@ -1,0 +1,262 @@
+package barrierd
+
+import (
+	"fmt"
+	"sync"
+
+	"fuzzybarrier/internal/core"
+	"fuzzybarrier/internal/transport"
+)
+
+// Conn is one client connection multiplexing any number of virtual
+// clients over a single transport endpoint — the load generator runs
+// tens of thousands of clients per Conn. Joins, arrivals and leaves
+// are batched per datagram; releases arrive once per (conn, group) and
+// fan out to every waiter locally.
+//
+// The callback API (JoinBatch's done, WhenReleased) is transport
+// agnostic: callbacks run on the endpoint's dispatch context, so on
+// SimNet a Conn is driven deterministically from inside Run. The
+// blocking helpers (AwaitJoined, WaitReleased) are for the real-time
+// transports only.
+type Conn struct {
+	ep   transport.Endpoint
+	r    *transport.Reliable
+	ring Ring
+
+	mu     sync.Mutex
+	groups map[uint32]*connGroup
+}
+
+type connGroup struct {
+	released int64
+
+	joinPending int
+	joinEpoch   int64
+	joinDone    []func(epoch int64)
+
+	watchers []watcher
+}
+
+type watcher struct {
+	epoch int64
+	fn    func(released int64)
+}
+
+// Dial attaches a client connection at addr (>= transport.ConnAddrBase)
+// to nw. On a UDPNet the caller must Register every shard route first.
+func Dial(nw transport.Network, addr transport.Addr, cfg Config) (*Conn, error) {
+	if addr < transport.ConnAddrBase {
+		return nil, fmt.Errorf("barrierd: connection address %d collides with shard space", addr)
+	}
+	cfg = cfg.withDefaults()
+	c := &Conn{ring: Ring{Shards: cfg.Shards}, groups: make(map[uint32]*connGroup)}
+	r, ep, err := transport.AttachReliable(nw, addr, cfg.Reliable,
+		func(_ *transport.Reliable, m transport.Message) { c.onMessage(m) }, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.ep, c.r = ep, r
+	return c, nil
+}
+
+// Close detaches the connection.
+func (c *Conn) Close() error { return c.ep.Close() }
+
+// Addr returns the connection's transport address.
+func (c *Conn) Addr() transport.Addr { return c.ep.Addr() }
+
+// Now returns the connection's transport clock (virtual ticks on
+// SimNet, nanoseconds otherwise). From a callback it is the dispatch
+// context's current time.
+func (c *Conn) Now() int64 { return c.ep.Now() }
+
+// After schedules fn on the connection's dispatch context after delay
+// transport units — the pacing primitive deterministic offered-load
+// drives use on SimNet (E19). On SimNet it is only safe from inside a
+// callback or before Run, like any endpoint timer.
+func (c *Conn) After(delay int64, fn func()) { c.ep.After(delay, fn) }
+
+// TransportStats returns the reliability-layer counters for this
+// connection. Only safe when the transport is quiescent (on SimNet:
+// outside Run).
+func (c *Conn) TransportStats() transport.ReliableStats { return c.r.Stats }
+
+// TransportStatsSync fetches the counters through the dispatch
+// context — the safe form on the real-time transports (blocks; not for
+// SimNet, whose Do only runs inside Run).
+func (c *Conn) TransportStatsSync() transport.ReliableStats {
+	ch := make(chan transport.ReliableStats, 1)
+	c.ep.Do(func() { ch <- c.r.Stats })
+	return <-ch
+}
+
+func (c *Conn) group(g uint32) *connGroup {
+	cg := c.groups[g]
+	if cg == nil {
+		cg = &connGroup{released: -1}
+		c.groups[g] = cg
+	}
+	return cg
+}
+
+// onMessage handles server traffic on the dispatch context.
+func (c *Conn) onMessage(m transport.Message) {
+	var fire []func()
+	c.mu.Lock()
+	cg := c.group(m.Group)
+	switch m.Kind {
+	case transport.KindJoinOK:
+		n := len(m.List)
+		if n == 0 {
+			n = 1
+		}
+		cg.joinPending -= n
+		if m.Epoch > cg.joinEpoch {
+			cg.joinEpoch = m.Epoch
+		}
+		if cg.joinPending <= 0 && len(cg.joinDone) > 0 {
+			epoch := cg.joinEpoch
+			for _, fn := range cg.joinDone {
+				fn := fn
+				fire = append(fire, func() { fn(epoch) })
+			}
+			cg.joinDone = nil
+		}
+	case transport.KindRelease:
+		if m.Epoch > cg.released {
+			cg.released = m.Epoch
+			rel := cg.released
+			kept := cg.watchers[:0]
+			for _, w := range cg.watchers {
+				if w.epoch <= rel {
+					w := w
+					fire = append(fire, func() { w.fn(rel) })
+				} else {
+					kept = append(kept, w)
+				}
+			}
+			cg.watchers = kept
+		}
+	}
+	c.mu.Unlock()
+	for _, fn := range fire {
+		fn()
+	}
+}
+
+// send marshals a protocol send onto the dispatch context.
+func (c *Conn) send(to transport.Addr, m transport.Message) {
+	c.ep.Do(func() { c.r.Send(to, m) })
+}
+
+// ingress returns the shard this connection sends g's traffic to.
+func (c *Conn) ingress(g uint32) transport.Addr {
+	return ShardAddr(c.ring.Ingress(g, c.ep.Addr()))
+}
+
+// JoinBatch registers ids in g with the given mode. done (may be nil)
+// fires on the dispatch context once every outstanding join on this
+// group is confirmed, with the epoch the members participate from.
+func (c *Conn) JoinBatch(g uint32, mode core.PhaserMode, ids []uint64, done func(epoch int64)) {
+	c.mu.Lock()
+	cg := c.group(g)
+	cg.joinPending += len(ids)
+	if done != nil {
+		cg.joinDone = append(cg.joinDone, done)
+	}
+	c.mu.Unlock()
+	to := c.ingress(g)
+	for len(ids) > 0 {
+		n := len(ids)
+		if n > MaxBatch {
+			n = MaxBatch
+		}
+		c.send(to, transport.Message{
+			Kind: transport.KindJoin, Mode: uint8(mode), Group: g,
+			List: append([]uint64(nil), ids[:n]...),
+		})
+		ids = ids[n:]
+	}
+}
+
+// ArriveBatch signals that each id in ids has arrived at epoch e of g.
+func (c *Conn) ArriveBatch(g uint32, e int64, ids []uint64) {
+	to := c.ingress(g)
+	for len(ids) > 0 {
+		n := len(ids)
+		if n > MaxBatch {
+			n = MaxBatch
+		}
+		c.send(to, transport.Message{
+			Kind: transport.KindArrive, Group: g, Epoch: e,
+			List: append([]uint64(nil), ids[:n]...),
+		})
+		ids = ids[n:]
+	}
+}
+
+// LeaveBatch deregisters ids from g.
+func (c *Conn) LeaveBatch(g uint32, ids []uint64) {
+	to := c.ingress(g)
+	for len(ids) > 0 {
+		n := len(ids)
+		if n > MaxBatch {
+			n = MaxBatch
+		}
+		c.send(to, transport.Message{
+			Kind: transport.KindLeave, Group: g,
+			List: append([]uint64(nil), ids[:n]...),
+		})
+		ids = ids[n:]
+	}
+}
+
+// Released returns the highest epoch of g known released (DrainEpoch
+// once the group drained; -1 before any release).
+func (c *Conn) Released(g uint32) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.group(g).released
+}
+
+// WhenReleased fires fn (dispatch context) once g's release reaches
+// epoch — immediately if it already has. This is the Wait half of the
+// split-phase barrier; everything the caller does before fn fires is
+// its barrier region.
+func (c *Conn) WhenReleased(g uint32, epoch int64, fn func(released int64)) {
+	c.mu.Lock()
+	cg := c.group(g)
+	if cg.released >= epoch {
+		rel := cg.released
+		c.mu.Unlock()
+		fn(rel)
+		return
+	}
+	cg.watchers = append(cg.watchers, watcher{epoch: epoch, fn: fn})
+	c.mu.Unlock()
+}
+
+// WaitReleased blocks until g's release reaches epoch (real-time
+// transports only).
+func (c *Conn) WaitReleased(g uint32, epoch int64) int64 {
+	ch := make(chan int64, 1)
+	c.WhenReleased(g, epoch, func(rel int64) { ch <- rel })
+	return <-ch
+}
+
+// AwaitJoined blocks until every outstanding join on g is confirmed
+// (real-time transports only) and returns the participation epoch.
+func (c *Conn) AwaitJoined(g uint32) int64 {
+	ch := make(chan int64, 1)
+	c.mu.Lock()
+	cg := c.group(g)
+	if cg.joinPending <= 0 {
+		epoch := cg.joinEpoch
+		c.mu.Unlock()
+		return epoch
+	}
+	cg.joinDone = append(cg.joinDone, func(e int64) { ch <- e })
+	c.mu.Unlock()
+	return <-ch
+}

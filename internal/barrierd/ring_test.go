@@ -1,0 +1,84 @@
+package barrierd
+
+import (
+	"testing"
+
+	"fuzzybarrier/internal/transport"
+)
+
+func TestRingHomeInRangeAndStable(t *testing.T) {
+	r := Ring{Shards: 8}
+	for g := uint32(0); g < 1000; g++ {
+		h := r.Home(g)
+		if h < 0 || h >= 8 {
+			t.Fatalf("group %d: home %d out of range", g, h)
+		}
+		if h != r.Home(g) {
+			t.Fatalf("group %d: home not stable", g)
+		}
+	}
+}
+
+func TestRingSpreadsGroupsAndIngress(t *testing.T) {
+	r := Ring{Shards: 8}
+	homes := make(map[int]int)
+	for g := uint32(0); g < 4096; g++ {
+		homes[r.Home(g)]++
+	}
+	for s := 0; s < 8; s++ {
+		if homes[s] == 0 {
+			t.Fatalf("shard %d owns no groups of 4096", s)
+		}
+	}
+	// One group's connections must spread across several ingress shards.
+	ing := make(map[int]bool)
+	for c := 0; c < 64; c++ {
+		ing[r.Ingress(7, transport.ConnAddrBase+transport.Addr(c))] = true
+	}
+	if len(ing) < 3 {
+		t.Fatalf("64 connections landed on only %d ingress shards", len(ing))
+	}
+}
+
+func TestRingMinimalMovement(t *testing.T) {
+	// Rendezvous hashing: growing the shard count moves only a fraction
+	// of groups, and only onto the new shard.
+	a, b := Ring{Shards: 7}, Ring{Shards: 8}
+	moved := 0
+	for g := uint32(0); g < 4096; g++ {
+		ha, hb := a.Home(g), b.Home(g)
+		if ha != hb {
+			moved++
+			if hb != 7 {
+				t.Fatalf("group %d moved %d->%d, not onto the new shard", g, ha, hb)
+			}
+		}
+	}
+	if moved == 0 || moved > 4096/4 {
+		t.Fatalf("moved %d of 4096 groups on 7->8 growth, want ~1/8", moved)
+	}
+}
+
+func TestParentShardTreeReachesHome(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 7, 16} {
+		for _, radix := range []int{2, 4} {
+			for home := 0; home < shards; home++ {
+				if p := parentShard(home, home, shards, radix); p != -1 {
+					t.Fatalf("S=%d k=%d: home %d has parent %d, want root", shards, radix, home, p)
+				}
+				for s := 0; s < shards; s++ {
+					cur, hops := s, 0
+					for cur != home {
+						cur = parentShard(cur, home, shards, radix)
+						if cur < 0 || cur >= shards {
+							t.Fatalf("S=%d k=%d home=%d: walk from %d left the shard set", shards, radix, home, s)
+						}
+						if hops++; hops > shards {
+							t.Fatalf("S=%d k=%d home=%d: walk from %d does not terminate", shards, radix, home, s)
+						}
+					}
+				}
+			}
+		}
+	}
+}

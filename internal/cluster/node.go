@@ -3,8 +3,8 @@ package cluster
 import (
 	"fmt"
 
-	"fuzzybarrier/internal/stats"
 	"fuzzybarrier/internal/trace"
+	"fuzzybarrier/internal/transport"
 )
 
 // node is one cluster participant. Its life is the paper's episode
@@ -169,67 +169,43 @@ func (n *node) stateLine() string {
 		return "done"
 	case n.blocked:
 		return fmt.Sprintf("blocked in Wait(epoch %d) since t=%d; unacked=%d; %s",
-			n.epoch, n.blockedAt, n.out.live, n.proto.PendingLine())
+			n.epoch, n.blockedAt, n.out.live(), n.proto.PendingLine())
 	default:
 		return fmt.Sprintf("executing epoch %d (released through %d); unacked=%d; %s",
-			n.epoch, n.releasedThrough, n.out.live, n.proto.PendingLine())
+			n.epoch, n.releasedThrough, n.out.live(), n.proto.PendingLine())
 	}
 }
 
-// outbox is the reliable-delivery layer: each logical send keeps a
-// pending record until the matching ack returns; a timer retransmits on
-// a Jacobson/Karels-estimated RTO with exponential backoff (capped at
-// MaxRTO). Retransmissions reuse the original sequence number, so the
-// receiver's ack matches whichever copy got through and duplicates are
-// harmless.
-//
-// Pending records live in a power-of-two ring indexed by sequence
-// number (seq & mask), recycled in place — no map, no per-send
-// allocation. The ring grows only while the in-flight window exceeds
-// its previous high-water mark.
+// outbox is the cluster-side host of the extracted reliability layer
+// (transport.Window): each logical send keeps a pending record until the
+// matching ack returns; a timer retransmits on a Jacobson/Karels-estimated
+// RTO with exponential backoff (capped at MaxRTO). Retransmissions reuse
+// the original sequence number, so the receiver's ack matches whichever
+// copy got through and duplicates are harmless. The ring, RTO policy,
+// Karn's rule and the retransmit-deadline heap live in
+// internal/transport/window.go — one verified codepath shared with the
+// real barrierd transports; what stays here is the engine-specific timer
+// arming.
 //
 // Timers differ per engine. The closure engine arms one heap event per
-// send/retransmit, exactly as before. The fast engine instead keeps a
-// per-outbox deadline queue (tq) plus a small stack of armed heap
-// events (armed): a send or retransmission records its
-// (deadline, armseq) in tq, and a heap event is inserted only when the
-// new deadline undercuts every armed one. Acks cancel nothing — a
-// fired event whose message was acked or re-armed is skipped
-// ("lazy cancel") and the queue head re-armed. Because re-arming
-// inserts the event at the original (deadline, armseq) key (armseq is
-// consumed at arm time in both engines), every real retransmission
-// still fires at exactly the key the closure engine would have given
-// its per-message timer: the invariant is that the smallest armed key
-// never exceeds the smallest live deadline key, so by induction an
-// event with exactly that key fires, matches, and retransmits.
+// send/retransmit, exactly as before. The fast engine instead keeps the
+// window's deadline queue (tq) plus a small stack of armed heap events
+// (armed): a send or retransmission records its (deadline, armseq) in
+// tq, and a heap event is inserted only when the new deadline undercuts
+// every armed one. Acks cancel nothing — a fired event whose message was
+// acked or re-armed is skipped ("lazy cancel") and the queue head
+// re-armed. Because re-arming inserts the event at the original
+// (deadline, armseq) key (armseq is consumed at arm time in both
+// engines), every real retransmission still fires at exactly the key the
+// closure engine would have given its per-message timer: the invariant
+// is that the smallest armed key never exceeds the smallest live
+// deadline key, so by induction an event with exactly that key fires,
+// matches, and retransmits.
 type outbox struct {
-	n    *node
-	seq  uint64
-	rtt  stats.RTTEstimator
-	live int // pending (unacked) messages, for stuck reports
+	n *node
+	w transport.Window[Message]
 
-	slots []pendingMsg // ring keyed by m.Seq & mask
-	mask  uint64
-
-	tq    []retxEntry // min-heap on (deadline, armseq); lazily pruned
-	armed []retxKey   // armed heap-event keys, descending (top = last = smallest)
-}
-
-type pendingMsg struct {
-	m         Message
-	firstSent int64
-	rto       int64
-	deadline  int64  // fast engine: current retransmit deadline
-	armseq    uint64 // fast engine: sequence consumed when that deadline was armed
-	tries     int
-	inUse     bool
-}
-
-// retxEntry is one armed deadline in the per-outbox timer queue.
-type retxEntry struct {
-	deadline int64
-	armseq   uint64
-	seq      uint64 // message sequence this deadline guards
+	armed []retxKey // armed heap-event keys, descending (top = last = smallest)
 }
 
 // retxKey is the (at, seq) key of an outstanding evRetx heap event.
@@ -239,64 +215,23 @@ type retxKey struct {
 }
 
 func newOutbox(n *node) *outbox {
-	return &outbox{n: n, slots: make([]pendingMsg, 8), mask: 7}
+	o := &outbox{n: n}
+	o.w.Init()
+	return o
 }
 
-// slot returns the live pending record for seq, or nil.
-func (o *outbox) slot(seq uint64) *pendingMsg {
-	p := &o.slots[seq&o.mask]
-	if p.inUse && p.m.Seq == seq {
-		return p
-	}
-	return nil
-}
-
-// claimSlot returns a free ring slot for seq, growing the ring past its
-// high-water mark if the in-flight window collides.
-func (o *outbox) claimSlot(seq uint64) *pendingMsg {
-	for o.slots[seq&o.mask].inUse {
-		o.grow()
-	}
-	return &o.slots[seq&o.mask]
-}
-
-// grow doubles the ring until every live record (and by construction
-// any newly claimed seq) lands in a distinct slot.
-func (o *outbox) grow() {
-	size := len(o.slots)
-	for {
-		size *= 2
-		ns := make([]pendingMsg, size)
-		nm := uint64(size - 1)
-		ok := true
-		for i := range o.slots {
-			p := &o.slots[i]
-			if !p.inUse {
-				continue
-			}
-			j := p.m.Seq & nm
-			if ns[j].inUse {
-				ok = false
-				break
-			}
-			ns[j] = *p
-		}
-		if ok {
-			o.slots, o.mask = ns, nm
-			return
-		}
-	}
-}
+// live returns the number of pending (unacked) messages, for stuck
+// reports.
+func (o *outbox) live() int { return o.w.Live }
 
 // send transmits m reliably (assigning its sequence number).
 func (o *outbox) send(m Message) {
-	o.seq++
-	m.Seq = o.seq
+	m.Seq = o.w.Assign()
 	m.From = o.n.id
 	s := o.n.s
-	p := o.claimSlot(m.Seq)
-	*p = pendingMsg{m: m, firstSent: s.now, rto: o.rto(), tries: 1, inUse: true}
-	o.live++
+	p := o.w.Claim(m.Seq)
+	*p = transport.Pending[Message]{Msg: m, Seq: m.Seq, FirstSent: s.now, RTO: o.rto(), Tries: 1, InUse: true}
+	o.w.Live++
 	s.sends++
 	if s.wantLog {
 		s.logf(o.n.id, trace.EvSend, "send %v", m)
@@ -308,17 +243,17 @@ func (o *outbox) send(m Message) {
 // arm consumes one sequence number for p's retransmit timer — a heap
 // closure on the slow engine, a tq entry (plus at most one heap event)
 // on the fast engine.
-func (o *outbox) arm(p *pendingMsg) {
+func (o *outbox) arm(p *transport.Pending[Message]) {
 	s := o.n.s
 	if s.fast == nil {
-		seq := p.m.Seq
-		s.schedule(p.rto, func() { o.timeout(seq) })
+		seq := p.Seq
+		s.schedule(p.RTO, func() { o.timeout(seq) })
 		return
 	}
 	s.eseq++
-	p.armseq = s.eseq
-	p.deadline = s.now + p.rto
-	o.tqPush(retxEntry{deadline: p.deadline, armseq: p.armseq, seq: p.m.Seq})
+	p.Armseq = s.eseq
+	p.Deadline = s.now + p.RTO
+	o.w.TQPush(transport.RetxEntry{Deadline: p.Deadline, Armseq: p.Armseq, Seq: p.Seq})
 	o.ensureArmed()
 }
 
@@ -328,18 +263,18 @@ func (o *outbox) arm(p *pendingMsg) {
 // stack with the smallest key on top — and heap events fire in key
 // order, so fireRetx always pops exactly that top.
 func (o *outbox) ensureArmed() {
-	if len(o.tq) == 0 {
+	if o.w.TQLen() == 0 {
 		return
 	}
-	head := o.tq[0]
+	head := o.w.TQHead()
 	if len(o.armed) > 0 {
 		top := o.armed[len(o.armed)-1]
-		if top.at < head.deadline || (top.at == head.deadline && top.seq <= head.armseq) {
+		if top.at < head.Deadline || (top.at == head.Deadline && top.seq <= head.Armseq) {
 			return
 		}
 	}
-	o.armed = append(o.armed, retxKey{at: head.deadline, seq: head.armseq})
-	o.n.s.fast.scheduleAt(head.deadline, head.armseq, evRetx, int32(o.n.id), 0, 0, Message{})
+	o.armed = append(o.armed, retxKey{at: head.Deadline, seq: head.Armseq})
+	o.n.s.fast.scheduleAt(head.Deadline, head.Armseq, evRetx, int32(o.n.id), 0, 0, Message{})
 }
 
 // fireRetx handles one evRetx heap event: prune acked/re-armed
@@ -352,15 +287,15 @@ func (o *outbox) fireRetx(at int64, seq uint64) {
 			o.n.id, at, seq, top.at, top.seq))
 	}
 	o.armed = o.armed[:len(o.armed)-1]
-	for len(o.tq) > 0 {
-		e := o.tq[0]
-		p := o.slot(e.seq)
-		if p == nil || p.armseq != e.armseq {
-			o.tqPop() // stale: acked, or re-armed by a later retransmission
+	for o.w.TQLen() > 0 {
+		e := o.w.TQHead()
+		p := o.w.Slot(e.Seq)
+		if p == nil || p.Armseq != e.Armseq {
+			o.w.TQPop() // stale: acked, or re-armed by a later retransmission
 			continue
 		}
-		if e.deadline == at && e.armseq == seq {
-			o.tqPop()
+		if e.Deadline == at && e.Armseq == seq {
+			o.w.TQPop()
 			o.retransmit(p)
 		}
 		// A live head with a later key means this event fired early
@@ -372,7 +307,7 @@ func (o *outbox) fireRetx(at int64, seq uint64) {
 
 // timeout is the slow engine's per-message timer callback.
 func (o *outbox) timeout(seq uint64) {
-	p := o.slot(seq)
+	p := o.w.Slot(seq)
 	if p == nil {
 		return // acked since the timer was armed
 	}
@@ -380,102 +315,26 @@ func (o *outbox) timeout(seq uint64) {
 }
 
 // retransmit re-sends a still-unacked message, doubling its RTO.
-func (o *outbox) retransmit(p *pendingMsg) {
-	p.tries++
-	p.rto *= 2
-	if p.rto > o.n.s.cfg.MaxRTO {
-		p.rto = o.n.s.cfg.MaxRTO
-	}
+func (o *outbox) retransmit(p *transport.Pending[Message]) {
+	o.w.Backoff(p, o.n.s.cfg.MaxRTO)
 	s := o.n.s
 	s.retransmits++
 	if s.wantLog {
-		s.logf(o.n.id, trace.EvRetransmit, "retransmit %v try=%d rto=%d", p.m, p.tries, p.rto)
+		s.logf(o.n.id, trace.EvRetransmit, "retransmit %v try=%d rto=%d", p.Msg, p.Tries, p.RTO)
 	}
-	s.net.send(p.m)
+	s.net.send(p.Msg)
 	o.arm(p)
 }
 
-// ack retires a pending message. Only never-retransmitted messages
-// contribute RTT samples (Karn's rule: a retransmitted message's ack is
-// ambiguous about which copy it answers). Armed timers are cancelled
-// lazily: the record is simply freed, and any timer still pointing at
-// it is skipped when it fires.
+// ack retires a pending message (transport.Window applies Karn's rule:
+// only never-retransmitted messages contribute RTT samples).
 func (o *outbox) ack(seq uint64) {
-	p := o.slot(seq)
-	if p == nil {
-		return // duplicate ack
-	}
-	if p.tries == 1 {
-		o.rtt.Observe(float64(o.n.s.now - p.firstSent))
-	}
-	p.inUse = false
-	o.live--
+	o.w.Ack(seq, o.n.s.now)
 }
 
-// tqPush adds one deadline to the per-outbox timer min-heap.
-func (o *outbox) tqPush(e retxEntry) {
-	o.tq = append(o.tq, e)
-	c := len(o.tq) - 1
-	for c > 0 {
-		p := (c - 1) / 2
-		if !retxLess(o.tq[c], o.tq[p]) {
-			break
-		}
-		o.tq[c], o.tq[p] = o.tq[p], o.tq[c]
-		c = p
-	}
-}
-
-// tqPop removes the minimum deadline.
-func (o *outbox) tqPop() {
-	last := len(o.tq) - 1
-	o.tq[0] = o.tq[last]
-	o.tq = o.tq[:last]
-	n := last
-	c := 0
-	for {
-		l, r := 2*c+1, 2*c+2
-		if l >= n {
-			break
-		}
-		m := l
-		if r < n && retxLess(o.tq[r], o.tq[l]) {
-			m = r
-		}
-		if !retxLess(o.tq[m], o.tq[c]) {
-			break
-		}
-		o.tq[c], o.tq[m] = o.tq[m], o.tq[c]
-		c = m
-	}
-}
-
-func retxLess(a, b retxEntry) bool {
-	if a.deadline != b.deadline {
-		return a.deadline < b.deadline
-	}
-	return a.armseq < b.armseq
-}
-
-// rto returns the current retransmission timeout: the estimator's
-// recommendation plus one tick of clock granularity (without it, a
-// jitter-free link converges to RTO == RTT exactly and every ack ties
-// with its own retransmission timer), clamped to [InitRTO/4, MaxRTO];
-// InitRTO before any sample.
+// rto returns the current retransmission timeout from the shared policy
+// (estimator recommendation plus one tick of granularity, clamped to
+// [InitRTO/4, MaxRTO]; InitRTO before any sample).
 func (o *outbox) rto() int64 {
-	est := int64(o.rtt.RTO())
-	if est <= 0 {
-		return o.n.s.cfg.InitRTO
-	}
-	est++
-	if min := o.n.s.cfg.InitRTO / 4; est < min {
-		est = min
-	}
-	if est < 1 {
-		est = 1
-	}
-	if est > o.n.s.cfg.MaxRTO {
-		est = o.n.s.cfg.MaxRTO
-	}
-	return est
+	return o.w.NextRTO(o.n.s.cfg.InitRTO, o.n.s.cfg.MaxRTO)
 }

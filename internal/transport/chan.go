@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// rtItem is one unit of work on a real-time endpoint's dispatch queue:
+// either a delivered message or an injected closure (Do / fired timer).
+type rtItem struct {
+	m     Message
+	fn    func()
+	isMsg bool
+}
+
+// rtEndpoint is the shared dispatch machinery of the real-time
+// transports (ChanNet, UDPNet): one goroutine drains a queue, so
+// message handlers, timers and injected closures are serialized exactly
+// as on the simulator. Closures are enqueued blocking (they carry
+// protocol obligations and must not be lost); messages are enqueued
+// non-blocking — a full queue drops the datagram, which is the
+// transport's loss model and exactly what the reliability layer exists
+// to absorb.
+type rtEndpoint struct {
+	addr     Addr
+	h        Handler
+	clock    func() int64
+	transmit func(m Message)
+
+	q    chan rtItem
+	done chan struct{}
+	once sync.Once
+	wg   sync.WaitGroup
+
+	drops atomic.Int64 // queue-overflow losses at this endpoint
+}
+
+func newRTEndpoint(addr Addr, h Handler, qcap int, clock func() int64, transmit func(Message)) *rtEndpoint {
+	if qcap <= 0 {
+		qcap = 1 << 14
+	}
+	ep := &rtEndpoint{
+		addr: addr, h: h, clock: clock, transmit: transmit,
+		q: make(chan rtItem, qcap), done: make(chan struct{}),
+	}
+	ep.wg.Add(1)
+	go ep.loop()
+	return ep
+}
+
+func (ep *rtEndpoint) loop() {
+	defer ep.wg.Done()
+	for {
+		select {
+		case it := <-ep.q:
+			if it.isMsg {
+				ep.h(it.m)
+			} else {
+				it.fn()
+			}
+		case <-ep.done:
+			return
+		}
+	}
+}
+
+// enqueueMsg delivers a datagram, dropping on overflow or after close.
+func (ep *rtEndpoint) enqueueMsg(m Message) {
+	select {
+	case <-ep.done:
+	default:
+		select {
+		case ep.q <- rtItem{m: m, isMsg: true}:
+		default:
+			ep.drops.Add(1)
+		}
+	}
+}
+
+// enqueueFn injects a closure; blocks rather than drop, and is a no-op
+// after close.
+func (ep *rtEndpoint) enqueueFn(fn func()) {
+	select {
+	case ep.q <- rtItem{fn: fn}:
+	case <-ep.done:
+	}
+}
+
+func (ep *rtEndpoint) Addr() Addr { return ep.addr }
+func (ep *rtEndpoint) Now() int64 { return ep.clock() }
+
+func (ep *rtEndpoint) After(delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	time.AfterFunc(time.Duration(delay), func() { ep.enqueueFn(fn) })
+}
+
+func (ep *rtEndpoint) Do(fn func()) { ep.enqueueFn(fn) }
+
+func (ep *rtEndpoint) Send(to Addr, m Message) {
+	m.From = ep.addr
+	m.To = to
+	ep.transmit(m)
+}
+
+func (ep *rtEndpoint) Close() error {
+	ep.once.Do(func() { close(ep.done) })
+	ep.wg.Wait()
+	return nil
+}
+
+// ChanNet is the in-process real-time Network: endpoints are dispatch
+// goroutines, datagrams move by queue handoff, and the clock is
+// nanoseconds since construction. Loss exists (queue overflow), so the
+// reliability layer is exercised for real; there is no artificial
+// latency beyond scheduling. This is the transport the million-client
+// load runs use.
+type ChanNet struct {
+	mu    sync.RWMutex
+	eps   map[Addr]*rtEndpoint
+	start time.Time
+	qcap  int
+}
+
+// NewChanNet builds an in-process network; queueCap bounds each
+// endpoint's dispatch queue (<= 0 uses the 16384 default).
+func NewChanNet(queueCap int) *ChanNet {
+	return &ChanNet{eps: make(map[Addr]*rtEndpoint), start: time.Now(), qcap: queueCap}
+}
+
+// Attach registers an endpoint and starts its dispatch loop.
+func (n *ChanNet) Attach(a Addr, h Handler) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.eps[a]; dup {
+		return nil, fmt.Errorf("transport: chan address %d already attached", a)
+	}
+	ep := newRTEndpoint(a, h, n.qcap, n.now, func(m Message) { n.send(m) })
+	n.eps[a] = ep
+	return ep, nil
+}
+
+func (n *ChanNet) now() int64 { return time.Since(n.start).Nanoseconds() }
+
+func (n *ChanNet) send(m Message) {
+	n.mu.RLock()
+	dst := n.eps[m.To]
+	n.mu.RUnlock()
+	if dst == nil {
+		return // unattached address: datagram lost
+	}
+	dst.enqueueMsg(m)
+}
+
+// Drops returns the total queue-overflow losses across endpoints.
+func (n *ChanNet) Drops() int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var total int64
+	for _, ep := range n.eps {
+		total += ep.drops.Load()
+	}
+	return total
+}
+
+// Close shuts every endpoint down.
+func (n *ChanNet) Close() error {
+	n.mu.Lock()
+	eps := n.eps
+	n.eps = make(map[Addr]*rtEndpoint)
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// codecSeeds covers each kind, boundary values for every field, and an
+// empty/large List — the seed corpus FuzzMessageCodec starts from.
+var codecSeeds = []Message{
+	{},
+	{Kind: KindAck, List: []uint64{1, 2, 3, 1 << 40}},
+	{Kind: KindJoin, Mode: 2, From: 7, To: ConnAddrBase + 3, Group: 42, Client: 1 << 63, Epoch: -1},
+	{Kind: KindJoinOK, From: ConnAddrBase, To: 1, Group: 0xFFFFFFFF, Client: 0, Epoch: 1 << 40},
+	{Kind: KindLeave, Mode: 1, Client: 12345, Epoch: 9},
+	{Kind: KindArrive, Group: 9, Epoch: 3, Seq: 1, List: []uint64{0}},
+	{Kind: KindCombine, Group: 1, Epoch: -1 << 40, Seq: 1 << 62, List: make([]uint64, 300)},
+	{Kind: KindRelease, From: ^Addr(0), To: ^Addr(0), Epoch: 1<<63 - 1, Seq: ^uint64(0)},
+}
+
+func TestMessageCodecRoundTrip(t *testing.T) {
+	for i, m := range codecSeeds {
+		enc := m.Encode()
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("seed %d (%v): Decode failed: %v", i, m, err)
+		}
+		if !messagesEqual(m, got) {
+			t.Fatalf("seed %d: round-trip mismatch:\n sent %#v\n got  %#v", i, m, got)
+		}
+		// Re-encoding the decoded message must be byte-identical (the
+		// encoding is canonical).
+		if re := got.Encode(); !bytes.Equal(enc, re) {
+			t.Fatalf("seed %d: re-encode differs: % x vs % x", i, enc, re)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncationsAndTrailing(t *testing.T) {
+	m := codecSeeds[1] // ack with a list
+	enc := m.Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("Decode accepted truncation to %d/%d bytes", cut, len(enc))
+		}
+	}
+	if _, err := Decode(append(append([]byte{}, enc...), 0)); err == nil {
+		t.Fatal("Decode accepted trailing bytes")
+	}
+	if _, err := Decode([]byte{byte(KindRelease) + 1, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("Decode accepted unknown kind")
+	}
+	// A list length claiming more items than remaining bytes must be
+	// rejected before allocation.
+	huge := []byte{byte(KindAck), 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := Decode(huge); err == nil {
+		t.Fatal("Decode accepted oversized list length")
+	}
+}
+
+// FuzzMessageCodec pins the codec's two safety properties: Decode never
+// panics on arbitrary bytes, and any input it accepts re-encodes to a
+// message that round-trips (Decode(Encode(Decode(p))) == Decode(p)).
+func FuzzMessageCodec(f *testing.F) {
+	for _, m := range codecSeeds {
+		f.Add(m.Encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Add([]byte{0, 0, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x02})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		m, err := Decode(p)
+		if err != nil {
+			return
+		}
+		enc := m.Encode()
+		m2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("accepted input re-encoded to undecodable bytes: %v (msg %#v)", err, m)
+		}
+		if !messagesEqual(m, m2) {
+			t.Fatalf("round-trip mismatch: %#v vs %#v", m, m2)
+		}
+		// Canonical inputs must be stable under decode+encode.
+		if bytes.Equal(p, enc) {
+			return
+		}
+		if bytes.Equal(enc, m2.Encode()) {
+			return
+		}
+		t.Fatalf("re-encoding not canonical for %#v", m)
+	})
+}
+
+// messagesEqual treats nil and empty List as equal (the wire format
+// cannot distinguish them).
+func messagesEqual(a, b Message) bool {
+	if len(a.List) == 0 && len(b.List) == 0 {
+		a.List, b.List = nil, nil
+	}
+	return reflect.DeepEqual(a, b)
+}

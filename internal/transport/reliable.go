@@ -1,0 +1,337 @@
+package transport
+
+import (
+	"fmt"
+
+	"fuzzybarrier/internal/trace"
+)
+
+// ReliableConfig tunes the reliability layer, in the transport's clock
+// units (ticks on SimNet, nanoseconds on ChanNet/UDPNet).
+type ReliableConfig struct {
+	InitRTO int64 // retransmission timeout before any RTT sample
+	MaxRTO  int64 // exponential-backoff cap
+
+	// AckDelay is the coalescing window: an incoming reliable message
+	// arms a flush timer this far out, and every ack accumulated by
+	// then rides one KindAck datagram. 0 acks each message immediately
+	// (still batched with anything already pending).
+	AckDelay int64
+	// AckBatch flushes immediately once this many acks are pending
+	// (default 64), bounding datagram size and sender ring growth.
+	AckBatch int
+}
+
+// withDefaults fills the derived knobs, mirroring cluster's RTO rules.
+func (c ReliableConfig) withDefaults() ReliableConfig {
+	if c.InitRTO <= 0 {
+		c.InitRTO = 1
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = 16 * c.InitRTO
+	}
+	if c.MaxRTO < c.InitRTO {
+		c.MaxRTO = c.InitRTO
+	}
+	if c.AckBatch <= 0 {
+		c.AckBatch = 64
+	}
+	return c
+}
+
+// RealtimeReliable returns the default tuning for the nanosecond-clock
+// transports: 20ms initial RTO (a shade above any loopback RTT),
+// 500ms backoff cap, 1ms ack coalescing.
+func RealtimeReliable() ReliableConfig {
+	const ms = int64(1e6)
+	return ReliableConfig{InitRTO: 20 * ms, MaxRTO: 500 * ms, AckDelay: 1 * ms, AckBatch: 64}
+}
+
+// SimReliable returns tuning for a SimNet with the given link
+// parameters, mirroring cluster.Config's derivation: InitRTO a shade
+// above the worst-case RTT, MaxRTO 16x that, acks coalesced for one
+// tick.
+func SimReliable(latency, jitter int64) ReliableConfig {
+	rto := 2*(latency+jitter) + 2
+	return ReliableConfig{InitRTO: rto, MaxRTO: 16 * rto, AckDelay: 1, AckBatch: 64}
+}
+
+// ReliableStats counts the layer's work for reports and tests.
+type ReliableStats struct {
+	Sends       int64 // first transmissions of reliable messages
+	Retransmits int64 // retransmission-timer firings that re-sent
+	AcksSent    int64 // KindAck datagrams sent (each covers many seqs)
+	AcksCovered int64 // sequence numbers those datagrams covered
+	Delivered   int64 // reliable messages handed to the application
+	DupDropped  int64 // duplicate deliveries suppressed (re-acked, not re-delivered)
+}
+
+// Reliable runs the extracted reliability layer over one Endpoint: a
+// transport.Window per peer on the send side (sequence numbers,
+// RTT-estimated retransmission with exponential backoff, Karn's rule,
+// lazy-cancel deadline queue — the codepath internal/cluster verified),
+// and idempotent receive on the other (per-peer dedup: duplicates are
+// re-acked, never re-delivered) with per-connection ack coalescing.
+//
+// All methods must be called on the endpoint's dispatch context (the
+// Handler, After callbacks, or Do closures); the transports serialize
+// those, so Reliable needs no locks — on SimNet it is fully
+// deterministic.
+type Reliable struct {
+	ep      Endpoint
+	cfg     ReliableConfig
+	deliver Handler
+	sink    EventSink
+
+	peers map[Addr]*relPeer
+	order []Addr // peer creation order, for deterministic reports
+
+	armSeq uint64 // arm-sequence allocator (per instance: no cross-goroutine state)
+
+	Stats ReliableStats
+}
+
+// relPeer is the per-peer reliability state.
+type relPeer struct {
+	addr Addr
+	w    Window[Message]
+
+	// Retransmit-timer coverage: at most one useful After outstanding,
+	// recorded by its fire time; stale fires re-establish coverage.
+	retxArmed bool
+	retxAt    int64
+
+	// Idempotent receive: seqs <= floor are delivered; ahead holds the
+	// out-of-order seqs beyond it.
+	floor uint64
+	ahead map[uint64]struct{}
+
+	ackPend  []uint64
+	ackArmed bool
+}
+
+// NewReliable wraps ep. Delivered (deduplicated, non-ack) messages go
+// to deliver on the dispatch context. sink, when non-nil, receives
+// send/retransmit events (the transports log recv/drop themselves).
+func NewReliable(ep Endpoint, cfg ReliableConfig, deliver Handler, sink EventSink) *Reliable {
+	return &Reliable{
+		ep: ep, cfg: cfg.withDefaults(), deliver: deliver, sink: sink,
+		peers: make(map[Addr]*relPeer),
+	}
+}
+
+// AttachReliable attaches a to nw and wraps the endpoint in a Reliable
+// layer. deliver receives the layer itself so handlers can reply; the
+// construction cycle (the endpoint's Handler needs the layer, the layer
+// needs the endpoint) is closed through a sync point, so on the
+// multi-goroutine transports a datagram dispatched before construction
+// finishes waits instead of racing it.
+func AttachReliable(nw Network, a Addr, cfg ReliableConfig, deliver func(r *Reliable, m Message), sink EventSink) (*Reliable, Endpoint, error) {
+	var r *Reliable
+	ready := make(chan struct{})
+	ep, err := nw.Attach(a, func(m Message) { <-ready; r.OnMessage(m) })
+	if err != nil {
+		return nil, nil, err
+	}
+	r = NewReliable(ep, cfg, func(m Message) { deliver(r, m) }, sink)
+	close(ready)
+	return r, ep, nil
+}
+
+func (r *Reliable) peer(a Addr) *relPeer {
+	p := r.peers[a]
+	if p == nil {
+		p = &relPeer{addr: a, ahead: make(map[uint64]struct{})}
+		p.w.Init()
+		r.peers[a] = p
+		r.order = append(r.order, a)
+	}
+	return p
+}
+
+// Send transmits m to `to` reliably: it is retransmitted on an
+// RTT-estimated timeout until the peer acknowledges its sequence
+// number.
+func (r *Reliable) Send(to Addr, m Message) {
+	p := r.peer(to)
+	m.From = r.ep.Addr()
+	m.To = to
+	m.Seq = p.w.Assign()
+	now := r.ep.Now()
+	pd := p.w.Claim(m.Seq)
+	*pd = Pending[Message]{
+		Msg: m, Seq: m.Seq, FirstSent: now,
+		RTO: p.w.NextRTO(r.cfg.InitRTO, r.cfg.MaxRTO), Tries: 1, InUse: true,
+	}
+	p.w.Live++
+	r.Stats.Sends++
+	if r.sink != nil {
+		r.sink.Event(now, r.ep.Addr(), trace.EvSend, "send "+m.String())
+	}
+	r.ep.Send(to, m)
+	r.push(p, pd, now)
+	r.armRetx(p, now)
+}
+
+// push records pd's retransmit deadline in the peer's lazy-cancel queue.
+// Arm sequences are per-Reliable (each instance lives on one dispatch
+// context): they only disambiguate re-armed entries within that
+// instance's queues, and allocation order is deterministic on SimNet.
+func (r *Reliable) push(p *relPeer, pd *Pending[Message], now int64) {
+	r.armSeq++
+	pd.Armseq = r.armSeq
+	pd.Deadline = now + pd.RTO
+	p.w.TQPush(RetxEntry{Deadline: pd.Deadline, Armseq: pd.Armseq, Seq: pd.Seq})
+}
+
+// armRetx establishes timer coverage for the peer's earliest deadline:
+// arm only when no outstanding timer fires early enough.
+func (r *Reliable) armRetx(p *relPeer, now int64) {
+	if p.w.TQLen() == 0 {
+		return
+	}
+	head := p.w.TQHead().Deadline
+	if p.retxArmed && p.retxAt <= head {
+		return
+	}
+	p.retxArmed = true
+	p.retxAt = head
+	delay := head - now
+	r.ep.After(delay, func() { r.fireRetx(p, head) })
+}
+
+// fireRetx services due deadlines: prune acked/re-armed entries,
+// retransmit expired ones with backoff, and re-arm coverage.
+func (r *Reliable) fireRetx(p *relPeer, at int64) {
+	if p.retxArmed && p.retxAt == at {
+		p.retxArmed = false
+	}
+	now := r.ep.Now()
+	for p.w.TQLen() > 0 {
+		e := p.w.TQHead()
+		pd := p.w.Slot(e.Seq)
+		if pd == nil || pd.Armseq != e.Armseq {
+			p.w.TQPop() // stale: acked, or re-armed by a later retransmission
+			continue
+		}
+		if e.Deadline > now {
+			break
+		}
+		p.w.TQPop()
+		p.w.Backoff(pd, r.cfg.MaxRTO)
+		r.Stats.Retransmits++
+		if r.sink != nil {
+			r.sink.Event(now, r.ep.Addr(), trace.EvRetransmit,
+				fmt.Sprintf("retransmit %v try=%d rto=%d", pd.Msg, pd.Tries, pd.RTO))
+		}
+		r.ep.Send(p.addr, pd.Msg)
+		r.push(p, pd, now)
+	}
+	r.armRetx(p, now)
+}
+
+// OnMessage is the endpoint Handler: acks retire pending sends;
+// everything else is acknowledged (coalesced) and — if not a duplicate
+// — handed to the application. Wire this as the endpoint's Handler, or
+// call it from one.
+func (r *Reliable) OnMessage(m Message) {
+	if m.Kind == KindAck {
+		p := r.peer(m.From)
+		now := r.ep.Now()
+		for _, seq := range m.List {
+			p.w.Ack(seq, now)
+		}
+		return
+	}
+	if m.Seq == 0 {
+		r.deliver(m) // unreliable payload: no ack, no dedup
+		return
+	}
+	p := r.peer(m.From)
+	p.ackPend = append(p.ackPend, m.Seq)
+	r.flushOrArmAcks(p)
+	if r.seen(p, m.Seq) {
+		r.Stats.DupDropped++
+		return // duplicate: re-acked above, never re-delivered
+	}
+	r.Stats.Delivered++
+	r.deliver(m)
+}
+
+// seen records seq in the peer's receive window, reporting whether it
+// was already delivered.
+func (r *Reliable) seen(p *relPeer, seq uint64) bool {
+	if seq <= p.floor {
+		return true
+	}
+	if _, dup := p.ahead[seq]; dup {
+		return true
+	}
+	if seq == p.floor+1 {
+		p.floor++
+		for {
+			if _, ok := p.ahead[p.floor+1]; !ok {
+				break
+			}
+			delete(p.ahead, p.floor+1)
+			p.floor++
+		}
+	} else {
+		p.ahead[seq] = struct{}{}
+	}
+	return false
+}
+
+// flushOrArmAcks sends the pending acks when the batch is full,
+// otherwise arms the coalescing timer.
+func (r *Reliable) flushOrArmAcks(p *relPeer) {
+	if len(p.ackPend) >= r.cfg.AckBatch {
+		r.flushAcks(p)
+		return
+	}
+	if p.ackArmed {
+		return
+	}
+	p.ackArmed = true
+	r.ep.After(r.cfg.AckDelay, func() {
+		p.ackArmed = false
+		r.flushAcks(p)
+	})
+}
+
+// flushAcks coalesces every pending ack into one KindAck datagram
+// (unreliable: a lost ack is regenerated by the retransmission it
+// fails to suppress).
+func (r *Reliable) flushAcks(p *relPeer) {
+	if len(p.ackPend) == 0 {
+		return
+	}
+	r.Stats.AcksSent++
+	r.Stats.AcksCovered += int64(len(p.ackPend))
+	list := make([]uint64, len(p.ackPend))
+	copy(list, p.ackPend)
+	p.ackPend = p.ackPend[:0]
+	r.ep.Send(p.addr, Message{Kind: KindAck, List: list})
+}
+
+// Unacked returns the number of in-flight (sent, not yet acknowledged)
+// reliable messages across peers.
+func (r *Reliable) Unacked() int {
+	total := 0
+	for _, a := range r.order {
+		total += r.peers[a].w.Live
+	}
+	return total
+}
+
+// PendingLine renders the in-flight state for stuck reports, in peer
+// creation order (deterministic on SimNet).
+func (r *Reliable) PendingLine() string {
+	s := fmt.Sprintf("unacked=%d", r.Unacked())
+	for _, a := range r.order {
+		if live := r.peers[a].w.Live; live > 0 {
+			s += fmt.Sprintf(" peer%d=%d", a, live)
+		}
+	}
+	return s
+}

@@ -1,0 +1,46 @@
+package transport
+
+// rng is the xorshift64* generator the repository uses everywhere
+// determinism matters (the same recurrence as internal/cluster's rng,
+// duplicated here because cluster imports transport for the extracted
+// reliability window — the dependency points the other way).
+type rng struct{ state uint64 }
+
+// mix derives an independent stream seed from (seed, salt) via one
+// splitmix64 step, so per-endpoint and per-network streams never
+// collide even for adjacent seeds.
+func mix(seed, salt uint64) uint64 {
+	z := seed + salt*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func newRNG(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{state: seed}
+}
+
+func (r *rng) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// intN returns a value in [0, n), or 0 for n <= 0.
+func (r *rng) intN(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	return int64(r.next() % uint64(n))
+}
+
+// float returns a value in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}

@@ -1,0 +1,236 @@
+package transport
+
+import (
+	"container/heap"
+	"fmt"
+
+	"fuzzybarrier/internal/trace"
+)
+
+// SimConfig describes the simulated links — the same loss model as
+// internal/cluster's network: every transmission independently draws
+// latency (base + uniform jitter), a drop outcome and a duplication
+// outcome from the run's seeded RNG. Jitter alone yields reordering.
+type SimConfig struct {
+	Latency  int64   // base one-way latency, ticks (default 1)
+	Jitter   int64   // uniform extra latency in [0, Jitter]
+	DropRate float64 // probability a transmission is lost
+	DupRate  float64 // probability a transmission is delivered twice
+
+	Seed uint64
+
+	LogEvents bool            // record the textual event log (EventLog)
+	Recorder  *trace.Recorder // optional event recording (nil = off)
+}
+
+// SimNet is the deterministic virtual-time Network: a single-threaded
+// discrete-event loop with (at, seq)-ordered events and a seeded fault
+// model. A fixed (SimConfig, workload) replays byte-identically — the
+// transcript guarantee TestBarrierdSimByteIdenticalTranscript pins for
+// the whole barrierd stack, extending the cluster simulator's
+// TestSameSeedByteIdenticalEventLog to the extracted reliability layer.
+//
+// The driving goroutine owns the loop: Attach endpoints, inject initial
+// work with Endpoint.Do, then Run. Endpoint callbacks run inside Run;
+// Do/After from outside the loop are only safe before Run or between
+// Run calls.
+type SimNet struct {
+	cfg  SimConfig
+	now  int64
+	eseq uint64
+	h    simHeap
+	eps  map[Addr]*simEndpoint
+	rng  *rng
+
+	log     []string
+	wantLog bool
+
+	// Fault counters, mirroring cluster.Sim's.
+	Sent, Dropped, Duped, Delivered int64
+}
+
+// NewSimNet builds a simulated network.
+func NewSimNet(cfg SimConfig) *SimNet {
+	if cfg.Latency < 1 {
+		cfg.Latency = 1
+	}
+	if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
+	return &SimNet{
+		cfg:     cfg,
+		eps:     make(map[Addr]*simEndpoint),
+		rng:     newRNG(mix(cfg.Seed, 0x7A57E9)),
+		wantLog: cfg.LogEvents || cfg.Recorder != nil,
+	}
+}
+
+type simEvent struct {
+	at  int64
+	seq uint64
+	fn  func()
+}
+
+type simHeap []*simEvent
+
+func (h simHeap) Len() int { return len(h) }
+func (h simHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h simHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *simHeap) Push(x any)   { *h = append(*h, x.(*simEvent)) }
+func (h *simHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Attach registers an endpoint.
+func (s *SimNet) Attach(a Addr, h Handler) (Endpoint, error) {
+	if _, dup := s.eps[a]; dup {
+		return nil, fmt.Errorf("transport: sim address %d already attached", a)
+	}
+	ep := &simEndpoint{net: s, addr: a, h: h}
+	s.eps[a] = ep
+	return ep, nil
+}
+
+// Close discards all endpoints and pending events.
+func (s *SimNet) Close() error {
+	s.eps = make(map[Addr]*simEndpoint)
+	s.h = nil
+	return nil
+}
+
+// Now returns the current virtual time.
+func (s *SimNet) Now() int64 { return s.now }
+
+// EventLog returns the recorded log lines (empty unless LogEvents).
+func (s *SimNet) EventLog() []string { return s.log }
+
+// schedule queues fn after delay ticks (clamped to now).
+func (s *SimNet) schedule(delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.eseq++
+	heap.Push(&s.h, &simEvent{at: s.now + delay, seq: s.eseq, fn: fn})
+}
+
+// Step executes the next event; false when the queue is empty.
+func (s *SimNet) Step() bool {
+	if s.h.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.h).(*simEvent)
+	s.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains, done() reports true, or
+// maxTicks of virtual time elapse (<= 0 means no budget). It returns
+// the virtual time reached and whether done() was satisfied.
+func (s *SimNet) Run(maxTicks int64, done func() bool) (int64, bool) {
+	for {
+		if done != nil && done() {
+			return s.now, true
+		}
+		if s.h.Len() == 0 {
+			return s.now, done == nil
+		}
+		if maxTicks > 0 && s.h[0].at > maxTicks {
+			return s.now, false
+		}
+		s.Step()
+	}
+}
+
+// Event implements EventSink on the simulator's transcript.
+func (s *SimNet) Event(now int64, a Addr, kind trace.EventKind, msg string) {
+	if rec := s.cfg.Recorder; rec != nil {
+		rec.EventKind(now, int(a), kind, msg)
+	}
+	if s.cfg.LogEvents {
+		s.log = append(s.log, fmt.Sprintf("t=%-8d a%-6d %-14s %s", now, a, kind, msg))
+	}
+}
+
+// send runs the fault model for one transmission.
+func (s *SimNet) send(m Message) {
+	s.Sent++
+	copies := 1
+	if s.cfg.DupRate > 0 && s.rng.float() < s.cfg.DupRate {
+		copies = 2
+		s.Duped++
+	}
+	for c := 0; c < copies; c++ {
+		if s.cfg.DropRate > 0 && s.rng.float() < s.cfg.DropRate {
+			s.Dropped++
+			if s.wantLog {
+				s.Event(s.now, m.From, trace.EvDrop, "drop "+m.String())
+			}
+			continue
+		}
+		delay := s.cfg.Latency
+		if s.cfg.Jitter > 0 {
+			delay += s.rng.intN(s.cfg.Jitter + 1)
+		}
+		s.schedule(delay, func() { s.deliver(m) })
+	}
+}
+
+// deliver hands one transmission to its destination (silently dropped
+// when the address is unattached or closed, like a real datagram).
+func (s *SimNet) deliver(m Message) {
+	ep, ok := s.eps[m.To]
+	if !ok || ep.closed {
+		return
+	}
+	s.Delivered++
+	if s.wantLog {
+		s.Event(s.now, m.To, trace.EvRecv, "recv "+m.String())
+	}
+	ep.h(m)
+}
+
+// simEndpoint is one attached participant of the virtual-time network.
+type simEndpoint struct {
+	net    *SimNet
+	addr   Addr
+	h      Handler
+	closed bool
+}
+
+func (ep *simEndpoint) Addr() Addr { return ep.addr }
+func (ep *simEndpoint) Now() int64 { return ep.net.now }
+
+func (ep *simEndpoint) After(delay int64, fn func()) {
+	ep.net.schedule(delay, func() {
+		if !ep.closed {
+			fn()
+		}
+	})
+}
+
+func (ep *simEndpoint) Do(fn func()) { ep.After(0, fn) }
+
+func (ep *simEndpoint) Send(to Addr, m Message) {
+	if ep.closed {
+		return
+	}
+	m.From = ep.addr
+	m.To = to
+	ep.net.send(m)
+}
+
+func (ep *simEndpoint) Close() error {
+	ep.closed = true
+	return nil
+}

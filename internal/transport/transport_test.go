@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// runEcho drives the same reliable request/response workload over any
+// Network: endpoint 1 sends n KindArrive messages to endpoint 2, which
+// echoes each back as a KindRelease. Both directions run through
+// Reliable. Returns (requests delivered at 2, responses delivered at 1).
+func runEcho(t *testing.T, nw Network, n int, wait func(done func() bool) bool) (int, int) {
+	t.Helper()
+	var mu sync.Mutex
+	gotReq, gotResp := 0, 0
+	rcfg := ReliableConfig{InitRTO: int64(20 * time.Millisecond), MaxRTO: int64(200 * time.Millisecond), AckDelay: int64(time.Millisecond), AckBatch: 32}
+	if _, sim := nw.(*SimNet); sim {
+		rcfg = SimReliable(2, 4)
+	}
+	ra, epA, err := AttachReliable(nw, 1, rcfg, func(_ *Reliable, m Message) {
+		mu.Lock()
+		gotResp++
+		mu.Unlock()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = AttachReliable(nw, 2, rcfg, func(r *Reliable, m Message) {
+		mu.Lock()
+		gotReq++
+		mu.Unlock()
+		r.Send(1, Message{Kind: KindRelease, Group: m.Group, Epoch: m.Epoch})
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epA.Do(func() {
+		for i := 0; i < n; i++ {
+			ra.Send(2, Message{Kind: KindArrive, Group: 1, Epoch: int64(i)})
+		}
+	})
+	done := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return gotReq >= n && gotResp >= n
+	}
+	if !wait(done) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Fatalf("echo did not complete: req=%d resp=%d of %d", gotReq, gotResp, n)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return gotReq, gotResp
+}
+
+// waitRealtime polls done for the real-time transports.
+func waitRealtime(done func() bool) bool {
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if done() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return done()
+}
+
+func TestEchoAcrossTransports(t *testing.T) {
+	const n = 100
+	t.Run("sim", func(t *testing.T) {
+		nw := NewSimNet(SimConfig{Latency: 2, Jitter: 4, DropRate: 0.2, DupRate: 0.1, Seed: 5})
+		defer nw.Close()
+		req, resp := runEcho(t, nw, n, func(done func() bool) bool {
+			_, ok := nw.Run(10_000_000, done)
+			return ok
+		})
+		if req != n || resp != n {
+			t.Fatalf("exactly-once violated: req=%d resp=%d", req, resp)
+		}
+	})
+	t.Run("chan", func(t *testing.T) {
+		nw := NewChanNet(0)
+		defer nw.Close()
+		req, resp := runEcho(t, nw, n, waitRealtime)
+		if req != n || resp != n {
+			t.Fatalf("exactly-once violated: req=%d resp=%d", req, resp)
+		}
+	})
+	t.Run("udp", func(t *testing.T) {
+		nw := NewUDPNet(0)
+		defer nw.Close()
+		req, resp := runEcho(t, nw, n, waitRealtime)
+		if req != n || resp != n {
+			t.Fatalf("exactly-once violated: req=%d resp=%d", req, resp)
+		}
+	})
+}
+
+// TestUDPRouteLearning: only the client knows the server's address up
+// front; the server must learn the client's route from its first
+// datagram's source address to reply at all.
+func TestUDPRouteLearning(t *testing.T) {
+	// Two independent UDPNets = two "processes": routes are not shared.
+	srvNet := NewUDPNet(0)
+	defer srvNet.Close()
+	cliNet := NewUDPNet(0)
+	defer cliNet.Close()
+
+	var got []Message
+	var mu sync.Mutex
+	rcfg := RealtimeReliable()
+	var rs *Reliable
+	ready := make(chan struct{})
+	srvEP, srvAddr, err := srvNet.AttachListen(1, func(m Message) { <-ready; rs.OnMessage(m) }, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs = NewReliable(srvEP, rcfg, func(m Message) {
+		rs.Send(m.From, Message{Kind: KindJoinOK, Client: m.Client, Epoch: 7})
+	}, nil)
+	close(ready)
+
+	rc, cliEP, err := AttachReliable(cliNet, ConnAddrBase, rcfg, func(_ *Reliable, m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cliNet.Register(1, srvAddr.String()); err != nil {
+		t.Fatal(err)
+	}
+	cliEP.Do(func() { rc.Send(1, Message{Kind: KindJoin, Client: 42}) })
+	ok := waitRealtime(func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 1
+	})
+	if !ok {
+		t.Fatal("server reply never arrived — route learning failed")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].Kind != KindJoinOK || got[0].Client != 42 || got[0].Epoch != 7 {
+		t.Fatalf("bad reply: %v", got[0])
+	}
+}
+
+// TestChanNetOverflowDrops: a stalled endpoint's queue overflows and
+// drops datagrams rather than blocking the sender — the loss model the
+// reliability layer absorbs.
+func TestChanNetOverflowDrops(t *testing.T) {
+	nw := NewChanNet(4)
+	defer nw.Close()
+	block := make(chan struct{})
+	first := make(chan struct{})
+	var once sync.Once
+	_, err := nw.Attach(2, func(m Message) {
+		once.Do(func() { close(first) })
+		<-block // stall the dispatch loop
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := nw.Attach(1, func(m Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		ep.Send(2, Message{Kind: KindArrive, Seq: uint64(i + 1)})
+	}
+	<-first
+	close(block)
+	if nw.Drops() == 0 {
+		t.Fatal("64 sends into a capacity-4 stalled queue produced no drops")
+	}
+}
