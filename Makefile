@@ -30,7 +30,9 @@ bench:
 # CI-sized benchmark smoke test: one iteration of the n=8 split-scaling
 # points, the allocs/op=0 check on the barrier hot path, the fast-forward,
 # sweep-pool, and cluster-engine before/after benchmarks, and a
-# machine-readable barbench run (-sim adds the before/after pairs)
+# machine-readable barbench run (-sim adds the before/after pairs,
+# -scaling the central/tree/hier ns-per-episode and hotspot curves up to
+# 16384 participants, oversubscribed counts recorded as skipped)
 # archived as BENCH_SMOKE.json. The two barrierload runs merge the
 # epoch-service latency numbers (million-client in-process, 10k-client
 # loopback UDP) into the same file under "barrierd_load"; every entry
@@ -40,7 +42,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BarrierHotPathAllocs' -benchtime 100x -benchmem ./internal/core
 	$(GO) test -run '^$$' -bench 'MachineFastForward|SweepParallel' -benchtime 1x .
 	$(GO) test -run '^$$' -bench 'ClusterEngine' -benchtime 1x -benchmem .
-	$(GO) run ./cmd/barbench -procs 2 -episodes 5000 -json -sim > BENCH_SMOKE.json
+	$(GO) run ./cmd/barbench -procs 2 -episodes 5000 -json -sim -scaling > BENCH_SMOKE.json
 	$(GO) run ./cmd/barrierload -clients 1000000 -groups 4 -conns 32 -epochs 4 -merge BENCH_SMOKE.json
 	$(GO) run ./cmd/barrierload -transport udp -clients 10000 -groups 2 -conns 8 -epochs 4 -merge BENCH_SMOKE.json
 	@head -c 200 BENCH_SMOKE.json; echo; echo "wrote BENCH_SMOKE.json"
@@ -57,13 +59,15 @@ bench-smoke-multicore:
 # comfortably faster than the naive per-cycle loop on a stall-heavy
 # workload (threshold 1.2x; typical measured ratio is ~10x), if the
 # typed-event cluster engine is not >= 3x the closure heap on a lossy
-# 256/1024-node sweep, or if the sweep worker pool is not >= 1.2x on the
-# E15 grid (that gate self-skips when GOMAXPROCS=1 — one core cannot
-# show a parallel speedup).
+# 256/1024-node sweep, if the sweep worker pool is not >= 1.2x on the
+# E15 grid, or if the hierarchical barrier's hotspot-ops/phase exceeds
+# the flat tree's at n >= 4096 (the last two self-skip when
+# GOMAXPROCS=1 — one core cannot show parallel contention or speedup).
 bench-gate:
 	BENCH_GATE=1 $(GO) test -run TestFastForwardSpeedupGate -count=1 -v ./internal/machine
 	BENCH_GATE=1 $(GO) test -run TestClusterEngineSpeedupGate -count=1 -v ./internal/cluster
 	BENCH_GATE=1 $(GO) test -run TestSweepParallelSpeedupGate -count=1 -v ./internal/exp
+	BENCH_GATE=1 $(GO) test -run TestHierHotspotGate -count=1 -v .
 
 # Model checking + weak-memory stress, CI-sized (<60s): exhaustively
 # verify every cluster protocol at n<=3 under the full adversary

@@ -1,9 +1,10 @@
 // Command barbench measures runtime (goroutine) barrier implementations:
 // the conventional barriers of internal/baseline and the split-phase fuzzy
 // barriers of internal/core (central-counter "fuzzy", combining-tree
-// "fuzzy-tree", and the value-carrying allreduce "fuzzy-reduce"),
-// optionally with a busy "barrier region" between Arrive and Wait — the
-// software analog of the Section 8 Encore measurement.
+// "fuzzy-tree", the value-carrying allreduce "fuzzy-reduce", and the
+// two-level sharded "hier"), optionally with a busy "barrier region"
+// between Arrive and Wait — the software analog of the Section 8 Encore
+// measurement.
 //
 // Usage:
 //
@@ -13,6 +14,7 @@
 //	barbench -impl fuzzy-tree -procs 256
 //	barbench -json > bench.json     # machine-readable measurements
 //	barbench -json -sim             # plus simulator perf before/after pairs
+//	barbench -json -scaling         # plus the central/tree/hier scaling sweep
 //	barbench -cpuprofile cpu.pprof  # write a pprof CPU profile
 //
 // Wall-clock numbers on a time-shared goroutine scheduler are noisy; run
@@ -145,6 +147,7 @@ func main() {
 	stats := flag.Bool("stats", true, "print the barrier's counter/histogram snapshot (split barriers only)")
 	jsonOut := flag.Bool("json", false, "emit a JSON array of measurements instead of text")
 	sim := flag.Bool("sim", false, "also measure the simulator fast-forward, sweep pool, and cluster event engine (before/after pairs); with -json the output becomes one combined object")
+	scaling := flag.Bool("scaling", false, "also run the split-barrier scaling sweep (central vs tree vs hier, 64..16384 participants, oversubscribed counts skipped); with -json the output becomes one combined object")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
@@ -241,7 +244,7 @@ func main() {
 			die(err)
 		}
 		if *jsonOut {
-			combined = &combinedOutput{Barbench: records, MachineFastForward: ff, SweepParallel: sw, ClusterEngine: ce}
+			combined = &combinedOutput{Barbench: records, MachineFastForward: &ff, SweepParallel: &sw, ClusterEngine: &ce}
 		} else {
 			fmt.Printf("%-22s before=%-12v after=%-12v speedup=%.1fx\n",
 				"machine-fast-forward", time.Duration(ff.BeforeNs), time.Duration(ff.AfterNs), ff.Speedup)
@@ -251,11 +254,30 @@ func main() {
 				"cluster-engine", time.Duration(ce.BeforeNs), time.Duration(ce.AfterNs), ce.Speedup, ce.Protocol, ce.Nodes)
 		}
 	}
+	if *scaling {
+		// Episode count scaled down from the main -episodes knob: the
+		// sweep's large groups pay thousands of arrivals per episode, and
+		// the curve stabilizes in tens of episodes.
+		eps := *episodes / 100
+		if eps < 2 {
+			eps = 2
+		}
+		recs := measureScaling(eps)
+		if *jsonOut {
+			if combined == nil {
+				combined = &combinedOutput{Barbench: records}
+			}
+			combined.SplitScaling = recs
+		} else {
+			printScaling(recs)
+		}
+	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		// Without -sim the output stays a plain array, the stable
-		// machine-readable format; -sim wraps it in one object.
+		// Without -sim or -scaling the output stays a plain array, the
+		// stable machine-readable format; either flag wraps it in one
+		// combined object.
 		var err error
 		if combined != nil {
 			err = enc.Encode(combined)

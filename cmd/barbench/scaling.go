@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"fuzzybarrier/internal/core"
+)
+
+// scalingRecord is one cell of the -scaling sweep: a split-phase
+// implementation at one participant count, with the ns/episode and
+// hotspot-ops/phase curve points BENCH_SMOKE.json archives. Counts the
+// host cannot run meaningfully are recorded as skipped with the reason,
+// never as silent noise — maxprocs says what the numbers were (or would
+// have been) measured under.
+type scalingRecord struct {
+	Impl       string   `json:"impl"`
+	Procs      int      `json:"procs"`
+	Episodes   int      `json:"episodes,omitempty"`
+	MaxProcs   int      `json:"maxprocs"`
+	NsPerEp    int64    `json:"ns_per_episode,omitempty"`
+	HotspotOps *float64 `json:"hotspot_ops_per_phase,omitempty"`
+	Skipped    bool     `json:"skipped,omitempty"`
+	SkipReason string   `json:"skip_reason,omitempty"`
+}
+
+// scalingSizes is the participant axis of the sweep: the tail matches
+// BenchmarkE2SplitScaling's 4096/8192/16384 extension, the head keeps a
+// few points a modest host can measure without oversubscription skips.
+var scalingSizes = []int{64, 256, 1024, 4096, 8192, 16384}
+
+// scalingImpls compares central vs flat tree vs two-level hierarchy —
+// the hier-vs-tree-vs-central curve the bench gate guards.
+var scalingImpls = []string{"fuzzy", "fuzzy-tree", "hier"}
+
+// measureScaling runs the split-scaling sweep. Worker counts beyond
+// 64×GOMAXPROCS are skipped (same rule as BenchmarkE2SplitScaling): the
+// wall clock would measure run-queue churn, not the barrier.
+func measureScaling(episodes int) []scalingRecord {
+	maxprocs := runtime.GOMAXPROCS(0)
+	var out []scalingRecord
+	for _, n := range scalingSizes {
+		for _, name := range scalingImpls {
+			rec := scalingRecord{Impl: name, Procs: n, MaxProcs: maxprocs}
+			if n > 64*maxprocs {
+				rec.Skipped = true
+				rec.SkipReason = fmt.Sprintf("%d workers > 64x GOMAXPROCS=%d: oversubscription noise", n, maxprocs)
+				out = append(out, rec)
+				continue
+			}
+			// Larger groups need fewer episodes for a stable mean — and
+			// cost proportionally more per episode.
+			eps := episodes
+			if n >= 4096 {
+				eps = episodes / 4
+			}
+			if eps < 2 {
+				eps = 2
+			}
+			d, b, err := measureSplit(name, n, eps, 0, 0)
+			if err != nil {
+				// Unknown impl can't happen for the fixed list; treat any
+				// failure as a skip so one bad cell doesn't lose the sweep.
+				rec.Skipped = true
+				rec.SkipReason = err.Error()
+				out = append(out, rec)
+				continue
+			}
+			rec.Episodes = eps
+			rec.NsPerEp = d.Nanoseconds() / int64(eps)
+			if prof, ok := b.(core.ArriveProfiler); ok {
+				if ops, phases := prof.HotspotOps(); phases > 0 {
+					v := float64(ops) / float64(phases)
+					rec.HotspotOps = &v
+				}
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// printScaling renders the sweep for the text (non -json) mode.
+func printScaling(recs []scalingRecord) {
+	for _, r := range recs {
+		if r.Skipped {
+			fmt.Printf("%-16s procs=%-6d SKIPPED: %s\n", r.Impl+"(scaling)", r.Procs, r.SkipReason)
+			continue
+		}
+		hotspot := ""
+		if r.HotspotOps != nil {
+			hotspot = fmt.Sprintf(" hotspot-ops/phase=%.1f", *r.HotspotOps)
+		}
+		fmt.Printf("%-16s procs=%-6d episodes=%-6d per-episode=%-12v maxprocs=%d%s\n",
+			r.Impl+"(scaling)", r.Procs, r.Episodes, time.Duration(r.NsPerEp), r.MaxProcs, hotspot)
+	}
+}

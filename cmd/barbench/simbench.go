@@ -56,13 +56,15 @@ type clusterReport struct {
 	simReport
 }
 
-// combinedOutput is the -json -sim document: the barbench array plus the
-// simulator perf measurements archived in BENCH_SMOKE.json.
+// combinedOutput is the combined -json document (-sim and/or -scaling):
+// the barbench array plus the simulator perf measurements and the
+// split-scaling sweep archived in BENCH_SMOKE.json.
 type combinedOutput struct {
-	Barbench           []record      `json:"barbench"`
-	MachineFastForward ffReport      `json:"machine_fast_forward"`
-	SweepParallel      sweepReport   `json:"sweep_parallel"`
-	ClusterEngine      clusterReport `json:"cluster_engine"`
+	Barbench           []record        `json:"barbench"`
+	MachineFastForward *ffReport       `json:"machine_fast_forward,omitempty"`
+	SweepParallel      *sweepReport    `json:"sweep_parallel,omitempty"`
+	ClusterEngine      *clusterReport  `json:"cluster_engine,omitempty"`
+	SplitScaling       []scalingRecord `json:"split_scaling,omitempty"`
 }
 
 // minTime runs fn reps times and returns the fastest wall-clock run.

@@ -1,0 +1,63 @@
+package fuzzybarrier_test
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"fuzzybarrier/internal/core"
+)
+
+// TestHierHotspotGate is the perf regression gate for the hierarchical
+// barrier (run by `make bench-gate` with BENCH_GATE=1): at n >= 4096
+// participants under real concurrency, the hier barrier's hottest
+// counter word must absorb no more atomic traffic per phase than the
+// flat combining tree's. The tree's collision probes are add+undo write
+// pairs that pile onto whichever leaf the stack-address hash crowds;
+// the hierarchy's read-only probing and full-shard skips are what this
+// gate pins. Like the sweep-pool gate it skips on GOMAXPROCS=1 —
+// without parallelism the goroutines arrive in near-serial order, no
+// probe storms form on either side, and the comparison is vacuous
+// (the deterministic single-core counterpart is experiment E20).
+func TestHierHotspotGate(t *testing.T) {
+	if os.Getenv("BENCH_GATE") == "" {
+		t.Skip("set BENCH_GATE=1 to run the hier hotspot gate")
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		t.Skip("GOMAXPROCS=1: arrivals serialize, hotspot contention cannot form on one core")
+	}
+	const episodes = 10
+	run := func(b core.SplitBarrier, workers int) float64 {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for e := 0; e < episodes; e++ {
+					b.Wait(b.Arrive())
+				}
+			}()
+		}
+		wg.Wait()
+		prof := b.(core.ArriveProfiler)
+		ops, phases := prof.HotspotOps()
+		if phases != episodes {
+			t.Fatalf("%T: phases = %d, want %d", b, phases, episodes)
+		}
+		return float64(ops) / float64(phases)
+	}
+	for _, workers := range []int{4096, 8192} {
+		t.Run(fmt.Sprintf("n%d", workers), func(t *testing.T) {
+			tree := run(core.NewTreeBarrier(workers), workers)
+			hier := run(core.NewHierBarrier(workers), workers)
+			central := float64(workers + 1) // the FuzzyBarrier hotspot, by construction
+			t.Logf("hotspot ops/phase at n=%d: central=%.0f tree=%.1f hier=%.1f (maxprocs=%d)",
+				workers, central, tree, hier, runtime.GOMAXPROCS(0))
+			if hier > tree {
+				t.Fatalf("hier hotspot %.1f ops/phase exceeds tree's %.1f at n=%d", hier, tree, workers)
+			}
+		})
+	}
+}

@@ -11,9 +11,10 @@ import (
 // "sense-reversing", "tree", "dissemination", "tournament", "fuzzy"
 // (a core.FuzzyBarrier used as a point barrier, for apples-to-apples
 // comparisons), "fuzzy-tree" (the combining-tree core.TreeBarrier,
-// likewise as a point barrier), and "fuzzy-reduce" (the value-carrying
+// likewise as a point barrier), "fuzzy-reduce" (the value-carrying
 // core.ReduceBarrier with a sum reduction, paying the allreduce combine
-// on every episode).
+// on every episode), and "hier" (the two-level sharded
+// core.HierBarrier with its GOMAXPROCS-derived layout).
 func New(name string, n int) (Barrier, error) {
 	switch name {
 	case "central":
@@ -32,20 +33,22 @@ func New(name string, n int) (Barrier, error) {
 		return NewSplitPoint("fuzzy-tree", core.NewTreeBarrier(n)), nil
 	case "fuzzy-reduce":
 		return NewSplitPoint("fuzzy-reduce", core.NewReduceBarrier(n, core.OpSum, core.IdentitySum)), nil
+	case "hier":
+		return NewSplitPoint("hier", core.NewHierBarrier(n)), nil
 	}
 	return nil, fmt.Errorf("baseline: unknown barrier %q", name)
 }
 
 // Names returns the known barrier names in stable order.
 func Names() []string {
-	names := []string{"central", "sense-reversing", "tree", "dissemination", "tournament", "fuzzy", "fuzzy-tree", "fuzzy-reduce"}
+	names := []string{"central", "sense-reversing", "tree", "dissemination", "tournament", "fuzzy", "fuzzy-tree", "fuzzy-reduce", "hier"}
 	sort.Strings(names)
 	return names
 }
 
 // SplitNames returns the names that are split-phase (fuzzy) barriers —
 // the subset whose Inner exposes Arrive/Wait for region workloads.
-func SplitNames() []string { return []string{"fuzzy", "fuzzy-tree", "fuzzy-reduce"} }
+func SplitNames() []string { return []string{"fuzzy", "fuzzy-tree", "fuzzy-reduce", "hier"} }
 
 // NewSplit constructs a runtime split-phase barrier by split name.
 func NewSplit(name string, n int) (core.SplitBarrier, error) {
@@ -56,6 +59,8 @@ func NewSplit(name string, n int) (core.SplitBarrier, error) {
 		return core.NewTreeBarrier(n), nil
 	case "fuzzy-reduce":
 		return core.NewReduceBarrier(n, core.OpSum, core.IdentitySum), nil
+	case "hier":
+		return core.NewHierBarrier(n), nil
 	}
 	return nil, fmt.Errorf("baseline: unknown split barrier %q", name)
 }

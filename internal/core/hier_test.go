@@ -1,0 +1,540 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHierBarrierShape(t *testing.T) {
+	cases := []struct {
+		n, shards, radix int
+		leaves, depth    int
+	}{
+		{1, 1, 4, 1, 2},      // single-leaf shard + single cross node
+		{4, 1, 4, 1, 2},      // one shard absorbs all four
+		{8, 2, 4, 2, 2},      // one leaf per shard; cross tree is one node
+		{16, 4, 4, 4, 2},     // one leaf per shard feeding one cross node
+		{17, 4, 4, 5, 3},     // quotas 5,4,4,4: shard 0 grows a 2-leaf subtree
+		{64, 4, 4, 16, 3},    // 16 per shard: 4 leaves + shard root + cross node
+		{11, 3, 2, 6, 4},     // quotas 4,4,3 at radix 2: two cross levels
+		{1024, 8, 4, 256, 6}, // 128 per shard: 3 subtree levels + 2 cross levels
+	}
+	for _, c := range cases {
+		b := NewHierBarrierConfig(c.n, HierConfig{Shards: c.shards, Radix: c.radix})
+		if b.Shards() != c.shards {
+			t.Errorf("Hier(%d,s%d,r%d): shards = %d, want %d", c.n, c.shards, c.radix, b.Shards(), c.shards)
+		}
+		if got := b.Leaves(); got != c.leaves {
+			t.Errorf("Hier(%d,s%d,r%d): leaves = %d, want %d", c.n, c.shards, c.radix, got, c.leaves)
+		}
+		// Shard quotas must be balanced (max-min <= 1) and sum to n; leaf
+		// quotas within each shard must sum to the shard quota.
+		var total int64
+		min, max := b.shards[0].quota, b.shards[0].quota
+		for s := range b.shards {
+			q := b.shards[s].quota
+			total += q
+			if q < min {
+				min = q
+			}
+			if q > max {
+				max = q
+			}
+			var leafCap int64
+			for j := 0; j < b.shards[s].nLeaves; j++ {
+				lq := b.nodes[b.shards[s].leafBase+j].quota
+				if lq < 1 {
+					t.Errorf("Hier(%d,s%d,r%d): shard %d leaf %d quota %d < 1", c.n, c.shards, c.radix, s, j, lq)
+				}
+				leafCap += lq
+			}
+			if leafCap != q {
+				t.Errorf("Hier(%d,s%d,r%d): shard %d leaf capacity %d, want %d", c.n, c.shards, c.radix, s, leafCap, q)
+			}
+		}
+		if total != int64(c.n) {
+			t.Errorf("Hier(%d,s%d,r%d): shard quotas sum to %d, want %d", c.n, c.shards, c.radix, total, c.n)
+		}
+		if max-min > 1 {
+			t.Errorf("Hier(%d,s%d,r%d): shard quotas unbalanced: min %d max %d", c.n, c.shards, c.radix, min, max)
+		}
+		// Every interior node's quota must equal its actual child count,
+		// counting each shard subtree root as a child of its cross-tree
+		// leaf. Exactly one node (the cross-tree root) has parent -1.
+		children := make(map[int]int64)
+		roots := 0
+		for i := range b.nodes {
+			if p := b.nodes[i].parent; p >= 0 {
+				children[p]++
+			} else {
+				roots++
+			}
+		}
+		if roots != 1 {
+			t.Errorf("Hier(%d,s%d,r%d): %d parentless nodes, want 1", c.n, c.shards, c.radix, roots)
+		}
+		for p, got := range children {
+			if b.nodes[p].quota != got {
+				t.Errorf("Hier(%d,s%d,r%d): node %d quota %d, children %d", c.n, c.shards, c.radix, p, b.nodes[p].quota, got)
+			}
+		}
+		if got := b.Depth(); got != c.depth {
+			t.Errorf("Hier(%d,s%d,r%d): depth = %d, want %d", c.n, c.shards, c.radix, got, c.depth)
+		}
+		if b.N() != c.n || b.Radix() != c.radix {
+			t.Errorf("Hier(%d,s%d,r%d): N/Radix = %d/%d", c.n, c.shards, c.radix, b.N(), b.Radix())
+		}
+		if len(b.rel) != c.shards {
+			t.Errorf("Hier(%d,s%d,r%d): %d release words, want %d", c.n, c.shards, c.radix, len(b.rel), c.shards)
+		}
+	}
+}
+
+// TestHierBarrierDerivedLayout checks the GOMAXPROCS derivation: shard
+// count min(GOMAXPROCS, n), radix DefaultTreeRadix widened so the
+// cross-shard tree stays at two levels.
+func TestHierBarrierDerivedLayout(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	b := NewHierBarrier(4096)
+	want := procs
+	if want > 4096 {
+		want = 4096
+	}
+	if b.Shards() != want {
+		t.Errorf("shards = %d, want min(GOMAXPROCS=%d, n)", b.Shards(), procs)
+	}
+	if b.Radix() < DefaultTreeRadix {
+		t.Errorf("radix = %d, want >= %d", b.Radix(), DefaultTreeRadix)
+	}
+	if b.Radix()*b.Radix() < b.Shards() {
+		t.Errorf("radix %d too narrow for %d shards (cross tree deeper than 2 levels)", b.Radix(), b.Shards())
+	}
+	// Shards never exceed n, even when the host is wider than the group.
+	if got := NewHierBarrier(2).Shards(); got > 2 {
+		t.Errorf("Hier(2): shards = %d, want <= 2", got)
+	}
+}
+
+func TestHierBarrierPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for n=0")
+		}
+	}()
+	NewHierBarrier(0)
+}
+
+func TestHierBarrierSingleParticipant(t *testing.T) {
+	b := NewHierBarrier(1)
+	for i := 0; i < 10; i++ {
+		ph := b.Arrive()
+		if !b.TryWait(ph) {
+			t.Fatal("single participant should sync instantly")
+		}
+		b.Wait(ph)
+	}
+	if b.Epoch() != 10 {
+		t.Errorf("epoch = %d, want 10", b.Epoch())
+	}
+}
+
+func TestHierBarrierRegionOverlap(t *testing.T) {
+	// A fast worker must be able to execute region work and finish Wait
+	// as soon as the slow worker arrives — same contract as FuzzyBarrier.
+	b := NewHierBarrierConfig(2, HierConfig{Shards: 2})
+	done := make(chan struct{})
+	go func() {
+		ph := b.Arrive()
+		b.Wait(ph)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("wait returned before partner arrived")
+	case <-time.After(10 * time.Millisecond):
+	}
+	b.Arrive() // partner arrives; never waits
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("wait did not return after partner arrived")
+	}
+}
+
+func TestHierBarrierTryWait(t *testing.T) {
+	b := NewHierBarrier(2)
+	ph := b.Arrive()
+	if b.TryWait(ph) {
+		t.Fatal("TryWait true before partner arrived")
+	}
+	b.Arrive()
+	if !b.TryWait(ph) {
+		t.Fatal("TryWait false after all arrived")
+	}
+	b.Wait(ph) // must be a fast path now
+	_, _, fast, _, blocks, _ := b.Stats()
+	if fast != 1 || blocks != 0 {
+		t.Errorf("fast=%d blocks=%d, want 1/0", fast, blocks)
+	}
+}
+
+// TestHierBarrierOrdersPhases is the FuzzyBarrier memory-ordering test on
+// the hierarchical implementation, with shard counts that leave some
+// shards partial and force the cross-shard tree to do real combining.
+func TestHierBarrierOrdersPhases(t *testing.T) {
+	for _, workers := range []int{2, 3, 5, 8, 13} {
+		workers := workers
+		t.Run(itoa2(workers), func(t *testing.T) {
+			t.Parallel()
+			const phases = 100
+			b := NewHierBarrierConfig(workers, HierConfig{Shards: 3, Radix: 2})
+			published := make([]atomic.Int64, workers)
+			errs := make(chan string, workers*phases)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					for p := int64(0); p < phases; p++ {
+						published[id].Store(p)
+						ph := b.Arrive()
+						b.Wait(ph)
+						for j := range published {
+							if got := published[j].Load(); got < p {
+								errs <- "worker saw stale phase"
+							}
+						}
+						b.Await() // nobody advances until all checked
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Fatal(e)
+			}
+			if got := b.Epoch(); got != 2*phases {
+				t.Errorf("epoch = %d, want %d", got, 2*phases)
+			}
+		})
+	}
+}
+
+// TestHierBarrierAwaitIsPointBarrier runs the counter detector across
+// participant counts including large, non-shard-aligned ones, under the
+// GOMAXPROCS-derived default layout.
+func TestHierBarrierAwaitIsPointBarrier(t *testing.T) {
+	for _, workers := range []int{1, 2, 5, 16, 33, 257} {
+		workers := workers
+		t.Run(itoa2(workers), func(t *testing.T) {
+			t.Parallel()
+			episodes := 50
+			if workers > 50 {
+				episodes = 10
+			}
+			b := NewHierBarrier(workers)
+			var counter atomic.Int64
+			var wg sync.WaitGroup
+			bad := make(chan int64, workers*episodes)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for e := int64(0); e < int64(episodes); e++ {
+						counter.Add(1)
+						b.Await()
+						if got := counter.Load(); got != int64(workers)*(e+1) {
+							bad <- got
+						}
+						b.Await()
+					}
+				}()
+			}
+			wg.Wait()
+			close(bad)
+			for v := range bad {
+				t.Fatalf("counter = %d between barriers (inconsistent)", v)
+			}
+			if got := b.Epoch(); got != int64(2*episodes) {
+				t.Errorf("epoch = %d, want %d", got, 2*episodes)
+			}
+		})
+	}
+}
+
+// TestHierBarrierEpochNeverSkipsProperty mirrors the tree property test
+// for random sizes, shard counts and radices.
+func TestHierBarrierEpochNeverSkipsProperty(t *testing.T) {
+	f := func(w, e, s, r uint8) bool {
+		workers := int(w%9) + 1
+		episodes := int(e%20) + 1
+		shards := int(s%5) + 1
+		radix := int(r%3) + 2
+		b := NewHierBarrierConfig(workers, HierConfig{Shards: shards, Radix: radix})
+		var wg sync.WaitGroup
+		ok := atomic.Bool{}
+		ok.Store(true)
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				last := int64(-1)
+				for ep := 0; ep < episodes; ep++ {
+					ph := b.Arrive()
+					b.Wait(ph)
+					cur := b.Epoch()
+					if cur <= last {
+						ok.Store(false)
+					}
+					last = cur
+				}
+			}()
+		}
+		wg.Wait()
+		return ok.Load() && b.Epoch() == int64(episodes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHierBarrierProbeUndoDeterministic drives every arrival to shard 0
+// leaf 0 via ArriveShardLeaf, so the whole probe cascade runs with a
+// known answer: within a shard the i-th leaf's arrivals probe past every
+// already-full leaf before it, a spilled arrival skips each full shard
+// with exactly one root probe, serial arrivals never overshoot (zero
+// undos), and the cumulative counters end each phase at exactly
+// quota·(phase+1).
+func TestHierBarrierProbeUndoDeterministic(t *testing.T) {
+	const n, shards, radix, phases = 11, 3, 2, 5
+	b := NewHierBarrierConfig(n, HierConfig{Shards: shards, Radix: radix})
+	// Per-phase expected probes, from the layout: an arrival claiming
+	// shard s, local leaf j first skips shards 0..s-1 (1 root probe each,
+	// since the earlier shards are completely full and climbed by the
+	// time a serial driver spills) and probes the j full leaves before
+	// its own.
+	var perPhase int64
+	for s := range b.shards {
+		perPhase += int64(s) * b.shards[s].quota // root skips to reach shard s
+		for j := 0; j < b.shards[s].nLeaves; j++ {
+			perPhase += int64(j) * b.nodes[b.shards[s].leafBase+j].quota
+		}
+	}
+	for p := int64(0); p < phases; p++ {
+		var ph Phase
+		for id := 0; id < n; id++ {
+			ph = b.ArriveShardLeaf(0, 0)
+		}
+		b.Wait(ph)
+		if got, want := b.Probes(), (p+1)*perPhase; got != want {
+			t.Errorf("after phase %d: Probes() = %d, want %d", p, got, want)
+		}
+		if got := b.Undos(); got != 0 {
+			t.Errorf("after phase %d: Undos() = %d, want 0 (serial arrivals never overshoot)", p, got)
+		}
+		for i := range b.nodes {
+			if got, want := b.nodes[i].count.Load(), b.nodes[i].quota*(p+1); got != want {
+				t.Errorf("after phase %d: node %d count = %d, want exactly %d", p, i, got, want)
+			}
+		}
+	}
+	if b.Epoch() != phases {
+		t.Errorf("epoch = %d, want %d", b.Epoch(), phases)
+	}
+}
+
+// TestHierBarrierCollisionInvariant hammers shard 0 leaf 0 from many
+// goroutines — the worst case ShardHint is supposed to avoid — and
+// checks the overshoot-undo invariant concurrently: a node's cumulative
+// count never dips below the target of any completed phase (every undo
+// cancels only its own overshoot), every phase ends with every node at
+// exactly quota·phase (one climber per node per phase), and the
+// colliders really did probe or spill.
+func TestHierBarrierCollisionInvariant(t *testing.T) {
+	const workers, phases, shards, radix = 9, 150, 3, 2
+	b := NewHierBarrierConfig(workers, HierConfig{Shards: shards, Radix: radix})
+	stop := make(chan struct{})
+	var below atomic.Int64
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Load the epoch first: the invariant count >= quota*e holds
+			// for any e that was complete at or before the count read.
+			e := b.Epoch()
+			for i := range b.nodes {
+				if b.nodes[i].count.Load() < b.nodes[i].quota*e {
+					below.Add(1)
+				}
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := 0; p < phases; p++ {
+				b.Wait(b.ArriveShardLeaf(0, 0)) // everyone collides
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
+
+	if n := below.Load(); n > 0 {
+		t.Errorf("%d samples saw a count below a completed phase's target (undo leaked)", n)
+	}
+	for i := range b.nodes {
+		if got, want := b.nodes[i].count.Load(), b.nodes[i].quota*phases; got != want {
+			t.Errorf("node %d final count = %d, want exactly %d (one climber per node per phase)", i, got, want)
+		}
+	}
+	// Shard 0 holds 3 of the 9 slots per phase; the other 6 arrivals of
+	// every phase must each have probed or spilled at least once.
+	if minProbes := int64(phases * (workers - 3)); b.Probes()+b.Undos() < minProbes {
+		t.Errorf("Probes()+Undos() = %d+%d, want >= %d", b.Probes(), b.Undos(), minProbes)
+	}
+	if b.Epoch() != phases {
+		t.Errorf("epoch = %d, want %d", b.Epoch(), phases)
+	}
+}
+
+// TestHierBarrierArriveDuringReleaseFanout hammers the release edge: a
+// waiter released through its shard's epoch word may re-Arrive while
+// the publisher is still CAS-maxing the remaining shards' words. The
+// publish-before-fan-out order must hand it a fresh epoch (a stale one
+// would spin through a fully-claimed phase), and the monotone CAS must
+// survive two overlapping publishers. SpinLimit 1 steers Waits onto
+// every slow-path flavor at the same time.
+func TestHierBarrierArriveDuringReleaseFanout(t *testing.T) {
+	const workers, phases = 8, 1500
+	b := NewHierBarrierConfig(workers, HierConfig{Shards: workers, Radix: 2})
+	b.SpinLimit = 1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for p := 0; p < phases; p++ {
+				// One worker per shard: each phase's last climber fans out
+				// while the other seven race straight into the next Arrive.
+				b.Wait(b.ArriveShardLeaf(id, 0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := b.Epoch(); got != phases {
+		t.Errorf("epoch = %d, want %d", got, phases)
+	}
+	// Every shard's release word must have caught up to the final epoch.
+	for s := range b.rel {
+		if got := b.rel[s].epoch.Load(); got != phases {
+			t.Errorf("shard %d release word = %d, want %d", s, got, phases)
+		}
+	}
+}
+
+// TestHierBarrierSlotFor: routing participant i to SlotFor(i) fills
+// every leaf to exactly its quota — no probes, no undos.
+func TestHierBarrierSlotFor(t *testing.T) {
+	const n = 23
+	b := NewHierBarrierConfig(n, HierConfig{Shards: 4, Radix: 3})
+	var ph Phase
+	for i := 0; i < n; i++ {
+		s, l := b.SlotFor(i)
+		ph = b.ArriveShardLeaf(s, l)
+	}
+	b.Wait(ph)
+	if b.Probes() != 0 || b.Undos() != 0 {
+		t.Errorf("probes=%d undos=%d after balanced routing, want 0/0", b.Probes(), b.Undos())
+	}
+	for s := range b.shards {
+		for j := 0; j < b.shards[s].nLeaves; j++ {
+			nd := &b.nodes[b.shards[s].leafBase+j]
+			if nd.count.Load() != nd.quota {
+				t.Errorf("shard %d leaf %d count = %d, want quota %d", s, j, nd.count.Load(), nd.quota)
+			}
+		}
+	}
+	if b.Epoch() != 1 {
+		t.Errorf("epoch = %d, want 1", b.Epoch())
+	}
+}
+
+// TestHierBarrierArrivePanics: shard/leaf/slot range validation.
+func TestHierBarrierArrivePanics(t *testing.T) {
+	b := NewHierBarrierConfig(8, HierConfig{Shards: 2, Radix: 2})
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("shard -1", func() { b.ArriveShardLeaf(-1, 0) })
+	expectPanic("shard high", func() { b.ArriveShardLeaf(b.Shards(), 0) })
+	expectPanic("leaf -1", func() { b.ArriveShardLeaf(0, -1) })
+	expectPanic("leaf high", func() { b.ArriveShardLeaf(0, b.ShardLeaves(0)) })
+	expectPanic("slot -1", func() { b.SlotFor(-1) })
+	expectPanic("slot high", func() { b.SlotFor(b.N()) })
+	expectPanic("shard-leaves high", func() { b.ShardLeaves(b.Shards()) })
+}
+
+// TestHierBarrierBeatsCentralOnHotspot is the arrive-side contention
+// claim at 256 participants: the hierarchical barrier's hottest counter
+// word absorbs far fewer operations per phase than the central barrier's
+// single counter (n+1). Like the tree test this is a property of the
+// algorithm, not of the host's core count.
+func TestHierBarrierBeatsCentralOnHotspot(t *testing.T) {
+	const workers = 256
+	const episodes = 20
+	run := func(b SplitBarrier) {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for e := 0; e < episodes; e++ {
+					b.Wait(b.Arrive())
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	central := NewFuzzyBarrier(workers)
+	run(central)
+	cOps, cPhases := central.HotspotOps()
+	if cPhases != episodes {
+		t.Fatalf("central phases = %d, want %d", cPhases, episodes)
+	}
+	cPer := float64(cOps) / float64(cPhases)
+
+	hier := NewHierBarrier(workers)
+	run(hier)
+	hOps, hPhases := hier.HotspotOps()
+	if hPhases != episodes {
+		t.Fatalf("hier phases = %d, want %d", hPhases, episodes)
+	}
+	hPer := float64(hOps) / float64(hPhases)
+	if hPer >= cPer/2 {
+		t.Errorf("hier hotspot = %.1f ops/phase, central = %.1f — hier should be far lower", hPer, cPer)
+	}
+	t.Logf("hotspot ops/phase at n=%d: central=%.1f hier=%.1f (shards=%d probes=%d undos=%d)",
+		workers, cPer, hPer, hier.Shards(), hier.Probes(), hier.Undos())
+}

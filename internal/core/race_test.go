@@ -61,6 +61,18 @@ func TestRaceTreeBarrierStress(t *testing.T) {
 	stressSplit(t, NewTreeBarrierRadix(13, 2), 13, 200)
 }
 
+// TestRaceHierBarrierStress pushes the two-level barrier through the
+// plain-slot bait: the shard subtrees, the cross-shard combining hop and
+// the per-shard release fan-out must together provide the same ordering
+// the central epoch does. The second shape forces partial shards and a
+// multi-level cross tree; the third pins one shard so the hier barrier
+// degenerates to a guarded tree and the fan-out path still runs.
+func TestRaceHierBarrierStress(t *testing.T) {
+	stressSplit(t, NewHierBarrier(8), 8, 300)
+	stressSplit(t, NewHierBarrierConfig(13, HierConfig{Shards: 3, Radix: 2}), 13, 200)
+	stressSplit(t, NewHierBarrierConfig(8, HierConfig{Shards: 1}), 8, 200)
+}
+
 // TestRaceReduceBarrierStress runs the reduce barrier through the same
 // plain-slot bait (Arrive contributes the identity, so the split-phase
 // protocol is exercised unchanged); the combining CAS loop and the

@@ -2,8 +2,9 @@ package core
 
 // SplitBarrier is the split-phase (fuzzy) barrier contract shared by the
 // runtime implementations: the central-counter FuzzyBarrier, the
-// combining-tree TreeBarrier, and the allreduce ReduceBarrier (whose
-// plain Arrive contributes the reduction identity). The experiment
+// combining-tree TreeBarrier, the two-level sharded HierBarrier, and
+// the allreduce ReduceBarrier (whose plain Arrive contributes the
+// reduction identity). The experiment
 // harness, the benchmarks and cmd/barbench all drive barriers through
 // this interface so that implementations can be compared
 // apples-to-apples.
@@ -52,7 +53,9 @@ var (
 	_ SplitBarrier   = (*FuzzyBarrier)(nil)
 	_ SplitBarrier   = (*TreeBarrier)(nil)
 	_ SplitBarrier   = (*ReduceBarrier)(nil)
+	_ SplitBarrier   = (*HierBarrier)(nil)
 	_ ArriveProfiler = (*FuzzyBarrier)(nil)
 	_ ArriveProfiler = (*TreeBarrier)(nil)
 	_ ArriveProfiler = (*ReduceBarrier)(nil)
+	_ ArriveProfiler = (*HierBarrier)(nil)
 )

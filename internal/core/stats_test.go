@@ -40,6 +40,7 @@ func TestStatsSnapshotConsistency(t *testing.T) {
 	for _, impl := range []SplitBarrier{
 		NewFuzzyBarrier(workers),
 		NewTreeBarrier(workers),
+		NewHierBarrier(workers),
 		NewReduceBarrier(workers, OpSum, IdentitySum),
 	} {
 		var wg sync.WaitGroup
@@ -121,6 +122,7 @@ func TestBarrierHotPathZeroAllocs(t *testing.T) {
 		"fuzzy":        NewFuzzyBarrier(1),
 		"fuzzy-tree":   NewTreeBarrier(1),
 		"fuzzy-reduce": NewReduceBarrier(1, OpSum, IdentitySum),
+		"hier":         NewHierBarrier(1),
 	}
 	for name, b := range barriers {
 		allocs := testing.AllocsPerRun(1000, func() {
@@ -150,7 +152,7 @@ func TestBarrierHotPathZeroAllocs(t *testing.T) {
 // BenchmarkBarrierHotPathAllocs is the benchmark form of the guarantee —
 // run with -benchmem; the allocs/op column must read 0.
 func BenchmarkBarrierHotPathAllocs(b *testing.B) {
-	for _, name := range []string{"fuzzy", "fuzzy-tree", "dynamic"} {
+	for _, name := range []string{"fuzzy", "fuzzy-tree", "hier", "dynamic"} {
 		b.Run(name, func(b *testing.B) {
 			var bar interface {
 				Arrive() Phase
@@ -161,6 +163,8 @@ func BenchmarkBarrierHotPathAllocs(b *testing.B) {
 				bar = NewFuzzyBarrier(1)
 			case "fuzzy-tree":
 				bar = NewTreeBarrier(1)
+			case "hier":
+				bar = NewHierBarrier(1)
 			case "dynamic":
 				bar = NewDynamicBarrier(1)
 			}

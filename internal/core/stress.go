@@ -10,8 +10,8 @@ import (
 // Stress is a weak-memory stress harness for the runtime barriers: the
 // model-checking counterpart internal/check proves the *cluster*
 // protocols over every message interleaving; this harness hammers the
-// shared-memory barriers (FuzzyBarrier, TreeBarrier, DynamicBarrier,
-// ReduceBarrier, Phaser) under randomized
+// shared-memory barriers (FuzzyBarrier, TreeBarrier, HierBarrier,
+// DynamicBarrier, ReduceBarrier, Phaser) under randomized
 // arrive/wait/register/leave schedules and runtime.Gosched storms, and
 // cross-checks what cannot be enumerated: the Go memory model's
 // happens-before edges and the BarrierStats accounting.
@@ -43,7 +43,7 @@ import (
 
 // StressConfig configures one stress run.
 type StressConfig struct {
-	Barrier string // "fuzzy", "tree", "dynamic", "reduce" or "phaser"
+	Barrier string // "fuzzy", "tree", "hier", "dynamic", "reduce" or "phaser"
 	Workers int    // permanent members (>= 1)
 	Phases  int    // synchronization episodes per permanent member
 
@@ -55,7 +55,11 @@ type StressConfig struct {
 	// the block path, 0 keeps DefaultSpinLimit.
 	SpinLimit int
 
-	TreeRadix int // tree/reduce only; 0 = DefaultTreeRadix
+	TreeRadix int // tree/reduce/hier only; 0 = DefaultTreeRadix
+
+	// HierShards pins the hier barrier's shard count; 0 keeps the
+	// GOMAXPROCS-derived default. Hier only.
+	HierShards int
 
 	// Churners adds transient members (dynamic and phaser): each
 	// repeatedly Registers, rides along for a few phases, and leaves,
@@ -127,7 +131,8 @@ func (r *stressRNG) storm() {
 }
 
 // stressBarrier is the slice of SplitBarrier the harness needs; it is
-// satisfied by FuzzyBarrier, TreeBarrier and DynamicBarrier alike.
+// satisfied by FuzzyBarrier, TreeBarrier, HierBarrier and
+// DynamicBarrier alike.
 type stressBarrier interface {
 	Arrive() Phase
 	TryWait(Phase) bool
@@ -171,6 +176,10 @@ func Stress(cfg StressConfig) (*StressReport, error) {
 		tb := NewTreeBarrierRadix(cfg.Workers, radix)
 		tb.SpinLimit = cfg.SpinLimit
 		b = tb
+	case "hier":
+		hb := NewHierBarrierConfig(cfg.Workers, HierConfig{Shards: cfg.HierShards, Radix: radix})
+		hb.SpinLimit = cfg.SpinLimit
+		b = hb
 	case "dynamic":
 		dyn = NewDynamicBarrier(cfg.Workers)
 		dyn.SpinLimit = cfg.SpinLimit

@@ -16,7 +16,7 @@ func stressPhases(t *testing.T) int {
 // (SpinLimit 1 forces the block path through the condition variable).
 func TestStressBarriers(t *testing.T) {
 	phases := stressPhases(t)
-	for _, barrier := range []string{"fuzzy", "tree", "dynamic"} {
+	for _, barrier := range []string{"fuzzy", "tree", "hier", "dynamic"} {
 		for _, spin := range []int{0, 1} {
 			rep, err := Stress(StressConfig{
 				Barrier: barrier, Workers: 4, Phases: phases,
@@ -49,6 +49,31 @@ func TestStressTreeShapes(t *testing.T) {
 		}
 		for _, v := range rep.Violations {
 			t.Errorf("workers=%d radix=%d: %s", tc.workers, tc.radix, v)
+		}
+	}
+}
+
+// TestStressHierShapes covers non-trivial hierarchical topologies:
+// worker counts that leave shards unbalanced, a pinned single shard
+// (degenerate guarded tree), and more shards than the host has cores so
+// the release fan-out always outlives some waiters' spin windows.
+func TestStressHierShapes(t *testing.T) {
+	phases := stressPhases(t)
+	for _, tc := range []struct{ workers, shards, radix int }{
+		{5, 2, 2}, {7, 3, 4}, {9, 1, 2}, {8, 8, 2},
+	} {
+		for _, spin := range []int{0, 1} {
+			rep, err := Stress(StressConfig{
+				Barrier: "hier", Workers: tc.workers, Phases: phases,
+				Seed: 0x41e5, SpinLimit: spin,
+				HierShards: tc.shards, TreeRadix: tc.radix,
+			})
+			if err != nil {
+				t.Fatalf("workers=%d shards=%d radix=%d spin=%d: %v", tc.workers, tc.shards, tc.radix, spin, err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("workers=%d shards=%d radix=%d spin=%d: %s", tc.workers, tc.shards, tc.radix, spin, v)
+			}
 		}
 	}
 }

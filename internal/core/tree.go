@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
-	"unsafe"
 )
 
 // TreeBarrier is a combining-tree fuzzy barrier: the same split-phase
@@ -103,17 +102,13 @@ func buildTreeShape(n, radix int) treeShape {
 	return s
 }
 
-// homeLeaf hashes the caller's stack address to a leaf index in
-// [0, nLeaves). Distinct goroutines occupy distinct stacks, so a worker
-// group spreads across leaves while each worker keeps re-hitting the
-// same warm leaf. Stack bases are allocation-size aligned, so the raw
-// address must be mixed (Fibonacci hashing) before reduction or most
-// bits collide. (The address is only hashed, never dereferenced or
-// retained.)
+// homeLeaf reduces the caller's ShardHint to a leaf index in
+// [0, nLeaves): the shared splitmix64-over-stack-address routing scheme,
+// audited once in shard.go and used by TreeBarrier, ReduceBarrier and
+// HierBarrier alike. High bits are used so homeLeaf and HierBarrier's
+// shard selection (low bits) stay decorrelated.
 func homeLeaf(nLeaves int) int {
-	var probe byte
-	h := uint64(uintptr(unsafe.Pointer(&probe))) * 0x9E3779B97F4A7C15
-	return int((h >> 32) % uint64(nLeaves))
+	return int((ShardHint() >> 32) % uint64(nLeaves))
 }
 
 // NewTreeBarrier creates a combining-tree fuzzy barrier for n

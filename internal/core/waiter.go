@@ -96,3 +96,55 @@ func (w *phaseWaiter) wait(p Phase, spinLimit int, stats *RuntimeStats) {
 	}
 	w.mu.Unlock()
 }
+
+// waitLocal is wait with the spin phase redirected to a caller-local
+// epoch word (HierBarrier's per-shard release words): the fast path and
+// the spin loop load `local` instead of the central epoch, so a spinning
+// waiter's reads stay on a line shared only with its shard — the
+// local-spin discipline of the classic busy-wait literature. The locked
+// slow path is unchanged: it rechecks the central epoch under the mutex
+// publish() advances it under, so the block path never depends on the
+// local word at all (publishers must guarantee only that `local` reaches
+// the target *eventually*; waitLocal stays correct even if the local
+// word lags or the caller picked a different shard than it arrived on).
+//
+// Accounting is identical to wait: every outcome lands in exactly one of
+// FastWaits, SpinWaits, LockWaits or Blocks and one histogram bucket.
+// The fast path also checks the central epoch (one extra read-shared
+// load) so a Wait issued in the window between the central publish and
+// the local fan-out still counts as fast instead of burning its spin
+// budget.
+func (w *phaseWaiter) waitLocal(p Phase, local *atomic.Int64, spinLimit int, stats *RuntimeStats) {
+	if local.Load() > p.epoch || w.epoch.Load() > p.epoch {
+		stats.FastWaits.Add(1)
+		stats.observeSpin(0)
+		return
+	}
+	if spinLimit <= 0 {
+		spinLimit = DefaultSpinLimit
+	}
+	for i := 0; i < spinLimit; i++ {
+		if local.Load() > p.epoch {
+			stats.SpinWaits.Add(1)
+			stats.SpinIters.Add(int64(i + 1))
+			stats.observeSpin(int64(i + 1))
+			return
+		}
+		if i%spinYieldEvery == spinYieldEvery-1 {
+			runtime.Gosched()
+		}
+	}
+	stats.SpinIters.Add(int64(spinLimit))
+	stats.observeExhausted()
+	w.mu.Lock()
+	if w.epoch.Load() > p.epoch {
+		w.mu.Unlock()
+		stats.LockWaits.Add(1)
+		return
+	}
+	stats.Blocks.Add(1)
+	for w.epoch.Load() <= p.epoch {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}

@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"fmt"
+
+	"fuzzybarrier/internal/core"
+	"fuzzybarrier/internal/stats"
+	"fuzzybarrier/internal/trace"
+)
+
+// E20 parameters: the shard count and radix are pinned (never derived
+// from GOMAXPROCS) so the table is byte-identical on every host —
+// TestParallelDeterminism replays All() at different worker counts and
+// compares output verbatim. Eight shards of radix 4 is the shape an
+// 8-socket host would derive for itself.
+const (
+	e20Phases = 5
+	e20Shards = 8
+	e20Radix  = 4
+)
+
+// e20N is the member sweep: powers of four, so both the flat radix-4
+// tree and the 8-shard hierarchy are perfectly balanced at every point
+// and the spread routings pay zero probes by construction.
+var e20N = []int{64, 256, 1024, 4096}
+
+// e20Strategies: central is the single-counter FuzzyBarrier baseline;
+// tree-spread/hier-spread route each member to its home leaf (the
+// behavior ShardHint approximates concurrently); tree-clustered and
+// hier-clustered aim every arrival at leaf 0 / shard 0 — the
+// adversarial routing that maximizes probe traffic, and the case the
+// hierarchy is built to survive: a full shard deflects an arrival with
+// one root read instead of a probe walk across every full leaf.
+var e20Strategies = []string{"central", "tree-spread", "tree-clustered", "hier-spread", "hier-clustered"}
+
+// E20HierScaling measures the two-level sharded HierBarrier against the
+// flat combining tree and the central counter on the paper's hot-spot
+// metric (Section 1), under both friendly and adversarial arrival
+// routing. Expected shapes, checked with slack: central's word takes
+// n+1 ops/phase (linear); tree-spread and hier-spread stay constant in
+// n (fan-in-bounded); tree-clustered pays ~2n ops/phase on leaf 0
+// (every deflection is an add+undo pair), while hier-clustered caps the
+// hottest word near (1-1/S)·n — each arrival deflected from a full
+// shard costs one read on that shard's subtree root, not a probe pair —
+// so hier-clustered must come in at or under tree-clustered at every n.
+// All cells are deterministic serial drives (the last arrival of a
+// phase completes it); the goroutine wall-clock counterpart is
+// BenchmarkE2SplitScaling and the BENCH_GATE TestHierHotspotGate.
+func E20HierScaling() (*trace.Table, error) {
+	t := trace.NewTable(
+		fmt.Sprintf("E20: hierarchical vs flat split barriers, hot-spot traffic, %d..%d members",
+			e20N[0], e20N[len(e20N)-1]),
+		"strategy", "members", "shards", "leaves", "depth", "probes/phase", "undos/phase", "hotspot-ops/phase",
+	)
+	nN := len(e20N)
+	cells, err := sweepRun(len(e20Strategies)*nN, func(i int) (e20Cell, error) {
+		strategy := e20Strategies[i/nN]
+		n := e20N[i%nN]
+		cell, err := e20Run(strategy, n)
+		if err != nil {
+			return e20Cell{}, fmt.Errorf("E20 %s/n=%d: %w", strategy, n, err)
+		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	byStrategy := map[string][]e20Cell{}
+	for si, strategy := range e20Strategies {
+		var hotSeries stats.Series
+		for ni, n := range e20N {
+			cell := cells[si*nN+ni]
+			byStrategy[strategy] = append(byStrategy[strategy], cell)
+			t.AddRow(strategy, n, cell.shards, cell.leaves, cell.depth,
+				cell.probesPerPhase, cell.undosPerPhase, cell.hotspotPerPhase)
+			hotSeries.Add(float64(n), cell.hotspotPerPhase)
+		}
+		switch strategy {
+		case "tree-spread", "hier-spread":
+			// Constant in n: with arrivals on their home leaves the hottest
+			// node sees only its own fan-in per phase.
+			if lo, hi := seriesRange(hotSeries.Y); hi > lo {
+				t.AddNote("WARNING: %s hotspot varies with members: %v", strategy, hotSeries.Y)
+			}
+		case "central":
+			if !hotSeries.MonotoneSlack(1, 0.05, 0.5) {
+				t.AddNote("WARNING: central hotspot-ops/phase is not non-decreasing in members: %v", hotSeries.Y)
+			}
+			last := hotSeries.Y[len(hotSeries.Y)-1]
+			if last < float64(e20N[nN-1]) {
+				t.AddNote("WARNING: central hotspot at n=%d is %.1f ops/phase, expected ~linear (>= n)", e20N[nN-1], last)
+			}
+		}
+	}
+	// The claim the bench gate enforces concurrently, checked here
+	// deterministically: under the worst routing the hierarchy's hottest
+	// word never exceeds the flat tree's.
+	for ni, n := range e20N {
+		tc := byStrategy["tree-clustered"][ni].hotspotPerPhase
+		hc := byStrategy["hier-clustered"][ni].hotspotPerPhase
+		if hc > tc {
+			t.AddNote("WARNING: hier-clustered hotspot %.1f exceeds tree-clustered %.1f at n=%d", hc, tc, n)
+		}
+	}
+	t.AddNote("central: every arrival lands on one word — n+1 ops/phase, Section 1's linear hot spot")
+	t.AddNote("tree-clustered: a full leaf deflects with an add+undo pair, so leaf 0 absorbs ~2n ops/phase; hier-clustered: a full shard deflects with one subtree-root read, capping the hottest word near (1-1/8)n")
+	t.AddNote("spread routings are fan-in-bounded and flat in n for both trees — the hierarchy only has to win where routing is bad")
+	t.AddNote("shards=%d radix=%d pinned for determinism; the runtime barrier derives both from GOMAXPROCS (see DESIGN.md section 13); wall-clock counterpart: BenchmarkE2SplitScaling and the BENCH_GATE hier-vs-tree test", e20Shards, e20Radix)
+	return t, nil
+}
+
+// e20Cell is one (strategy, n) measurement.
+type e20Cell struct {
+	shards, leaves, depth int
+	probesPerPhase        float64
+	undosPerPhase         float64
+	hotspotPerPhase       float64
+}
+
+// e20Run drives one strategy at one member count, serially: the last
+// arrival of a phase completes it, so a single goroutine exercises the
+// full protocol deterministically.
+func e20Run(strategy string, n int) (e20Cell, error) {
+	switch strategy {
+	case "central":
+		return e20RunCentral(n), nil
+	case "tree-spread":
+		return e20RunTree(n, true), nil
+	case "tree-clustered":
+		return e20RunTree(n, false), nil
+	case "hier-spread":
+		return e20RunHier(n, true), nil
+	case "hier-clustered":
+		return e20RunHier(n, false), nil
+	}
+	return e20Cell{}, fmt.Errorf("unknown strategy %q", strategy)
+}
+
+// e20RunCentral drives the single-counter FuzzyBarrier: every arrival
+// is one fetch-add on the shared word, the deterministic floor of the
+// hot spot a concurrent run would pay.
+func e20RunCentral(n int) e20Cell {
+	fb := core.NewFuzzyBarrier(n)
+	tickets := make([]core.Phase, n)
+	for p := 0; p < e20Phases; p++ {
+		for id := 0; id < n; id++ {
+			tickets[id] = fb.Arrive()
+		}
+		for id := 0; id < n; id++ {
+			fb.Wait(tickets[id])
+		}
+	}
+	ops, phases := fb.HotspotOps()
+	return e20Cell{
+		shards: 1, leaves: 1, depth: 1,
+		hotspotPerPhase: perIter(ops, int(phases)),
+	}
+}
+
+// e20RunTree drives the flat combining tree; spread routes member id to
+// leaf id mod Leaves() (an exact fill — zero probes at these power-of-4
+// sizes), clustered aims everyone at leaf 0.
+func e20RunTree(n int, spread bool) e20Cell {
+	tb := core.NewTreeBarrierRadix(n, e20Radix)
+	tickets := make([]core.Phase, n)
+	for p := 0; p < e20Phases; p++ {
+		for id := 0; id < n; id++ {
+			leaf := 0
+			if spread {
+				leaf = id % tb.Leaves()
+			}
+			tickets[id] = tb.ArriveLeaf(leaf)
+		}
+		for id := 0; id < n; id++ {
+			tb.Wait(tickets[id])
+		}
+	}
+	ops, phases := tb.HotspotOps()
+	return e20Cell{
+		shards: 1, leaves: tb.Leaves(), depth: tb.Depth(),
+		// TreeBarrier probes are add+undo pairs; report the pair count in
+		// the undos column too so the two trees' columns mean the same
+		// thing (a hier undo is also a paired add+subtract).
+		probesPerPhase:  perIter(tb.Probes(), int(phases)),
+		undosPerPhase:   perIter(tb.Probes(), int(phases)),
+		hotspotPerPhase: perIter(ops, int(phases)),
+	}
+}
+
+// e20RunHier drives the two-level sharded hierarchy with pinned shape;
+// spread routes member id to its SlotFor home (zero probes), clustered
+// aims everyone at shard 0 leaf 0.
+func e20RunHier(n int, spread bool) e20Cell {
+	hb := core.NewHierBarrierConfig(n, core.HierConfig{Shards: e20Shards, Radix: e20Radix})
+	tickets := make([]core.Phase, n)
+	for p := 0; p < e20Phases; p++ {
+		for id := 0; id < n; id++ {
+			shard, leaf := 0, 0
+			if spread {
+				shard, leaf = hb.SlotFor(id)
+			}
+			tickets[id] = hb.ArriveShardLeaf(shard, leaf)
+		}
+		for id := 0; id < n; id++ {
+			hb.Wait(tickets[id])
+		}
+	}
+	ops, phases := hb.HotspotOps()
+	return e20Cell{
+		shards: hb.Shards(), leaves: hb.Leaves(), depth: hb.Depth(),
+		probesPerPhase:  perIter(hb.Probes(), int(phases)),
+		undosPerPhase:   perIter(hb.Undos(), int(phases)),
+		hotspotPerPhase: perIter(ops, int(phases)),
+	}
+}

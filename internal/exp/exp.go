@@ -1,5 +1,5 @@
 // Package exp regenerates the paper's evaluation: one function per table
-// or figure (see DESIGN.md's per-experiment index, E1..E19). Each
+// or figure (see DESIGN.md's per-experiment index, E1..E20). Each
 // experiment returns a trace.Table whose rows are the series the paper
 // reports; EXPERIMENTS.md records the expected shapes next to the paper's
 // numbers.
@@ -71,6 +71,7 @@ func All() []Experiment {
 		{"E17", "Exhaustive model checking + exact stall oracle (verification extension)", E17ModelCheckAndOracle},
 		{"E18", "Fleet epoch aggregation: reduce-barrier allreduce vs central gather (extension)", E18FleetAggregation},
 		{"E19", "barrierd epoch latency vs offered load over lossy links (extension)", E19ServiceLatency},
+		{"E20", "Hierarchical vs flat split barriers: hot-spot traffic under routing (extension)", E20HierScaling},
 	}
 }
 
