@@ -30,10 +30,11 @@ bench:
 # CI-sized benchmark smoke test: one iteration of the n=8 split-scaling
 # points, the allocs/op=0 check on the barrier hot path, the fast-forward,
 # sweep-pool, and cluster-engine before/after benchmarks, and a
-# machine-readable barbench run (-sim adds the before/after pairs,
-# -scaling the central/tree/hier ns-per-episode and hotspot curves up to
-# 16384 participants, oversubscribed counts recorded as skipped)
-# archived as BENCH_SMOKE.json. The two barrierload runs merge the
+# machine-readable barbench run (-sim adds the before/after pairs —
+# including the serial-vs-sharded parallel_engine pair and the 4096x64
+# seed_batch time — and -scaling the central/tree/hier ns-per-episode
+# and hotspot curves up to 16384 participants, oversubscribed counts
+# recorded as skipped) archived as BENCH_SMOKE.json. The two barrierload runs merge the
 # epoch-service latency numbers (million-client in-process, 10k-client
 # loopback UDP) into the same file under "barrierd_load"; every entry
 # carries maxprocs so single-core results are interpretable.
@@ -58,14 +59,16 @@ bench-smoke-multicore:
 # Perf regression gates: fail if fast-forwarded machine.Run is not
 # comfortably faster than the naive per-cycle loop on a stall-heavy
 # workload (threshold 1.2x; typical measured ratio is ~10x), if the
-# typed-event cluster engine is not >= 3x the closure heap on a lossy
-# 256/1024-node sweep, if the sweep worker pool is not >= 1.2x on the
-# E15 grid, or if the hierarchical barrier's hotspot-ops/phase exceeds
-# the flat tree's at n >= 4096 (the last two self-skip when
-# GOMAXPROCS=1 — one core cannot show parallel contention or speedup).
+# typed-event cluster engine is not >= 2.5x the closure heap on a lossy
+# 256/1024-node sweep, if the sharded lookahead-window engine is not
+# >= 2x the serial fast engine at 1024 nodes (self-skips below 4
+# cores), if the sweep worker pool is not >= 1.2x on the E15 grid, or
+# if the hierarchical barrier's hotspot-ops/phase exceeds the flat
+# tree's at n >= 4096 (the parallel gates self-skip when GOMAXPROCS is
+# too low — one core cannot show parallel contention or speedup).
 bench-gate:
 	BENCH_GATE=1 $(GO) test -run TestFastForwardSpeedupGate -count=1 -v ./internal/machine
-	BENCH_GATE=1 $(GO) test -run TestClusterEngineSpeedupGate -count=1 -v ./internal/cluster
+	BENCH_GATE=1 $(GO) test -run 'TestClusterEngineSpeedupGate|TestParallelEngineSpeedupGate' -count=1 -v ./internal/cluster
 	BENCH_GATE=1 $(GO) test -run TestSweepParallelSpeedupGate -count=1 -v ./internal/exp
 	BENCH_GATE=1 $(GO) test -run TestHierHotspotGate -count=1 -v .
 

@@ -16,6 +16,8 @@
 //	barbench -json -sim             # plus simulator perf before/after pairs
 //	barbench -json -scaling         # plus the central/tree/hier scaling sweep
 //	barbench -cpuprofile cpu.pprof  # write a pprof CPU profile
+//	barbench -mutexprofile m.pprof  # pprof mutex-contention profile
+//	                                # (also -memprofile, -blockprofile)
 //
 // Wall-clock numbers on a time-shared goroutine scheduler are noisy; run
 // several times and look at the ordering, not the absolute values (the
@@ -150,9 +152,11 @@ func main() {
 	scaling := flag.Bool("scaling", false, "also run the split-barrier scaling sweep (central vs tree vs hier, 64..16384 participants, oversubscribed counts skipped); with -json the output becomes one combined object")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file")
+	blockProfile := flag.String("blockprofile", "", "write a pprof blocking profile to this file")
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *mutexProfile, *blockProfile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "barbench: %v\n", err)
 		os.Exit(1)
@@ -243,8 +247,19 @@ func main() {
 		if err != nil {
 			die(err)
 		}
+		pe, err := measureParallelEngine(1024, 10, 2)
+		if err != nil {
+			die(err)
+		}
+		sb, err := measureSeedBatch(4096, 4, 64)
+		if err != nil {
+			die(err)
+		}
 		if *jsonOut {
-			combined = &combinedOutput{Barbench: records, MachineFastForward: &ff, SweepParallel: &sw, ClusterEngine: &ce}
+			combined = &combinedOutput{
+				Barbench: records, MachineFastForward: &ff, SweepParallel: &sw,
+				ClusterEngine: &ce, ParallelEngine: &pe, SeedBatch: &sb,
+			}
 		} else {
 			fmt.Printf("%-22s before=%-12v after=%-12v speedup=%.1fx\n",
 				"machine-fast-forward", time.Duration(ff.BeforeNs), time.Duration(ff.AfterNs), ff.Speedup)
@@ -252,6 +267,16 @@ func main() {
 				"sweep-parallel(E15)", time.Duration(sw.BeforeNs), time.Duration(sw.AfterNs), sw.Speedup, sw.MaxProcs)
 			fmt.Printf("%-22s before=%-12v after=%-12v speedup=%.1fx (%s n=%d)\n",
 				"cluster-engine", time.Duration(ce.BeforeNs), time.Duration(ce.AfterNs), ce.Speedup, ce.Protocol, ce.Nodes)
+			if pe.Skipped != "" {
+				fmt.Printf("%-22s skipped: %s\n", "parallel-engine", pe.Skipped)
+			} else {
+				fmt.Printf("%-22s before=%-12v after=%-12v speedup=%.1fx (%s n=%d shards=%d maxprocs=%d)\n",
+					"parallel-engine", time.Duration(pe.BeforeNs), time.Duration(pe.AfterNs), pe.Speedup,
+					pe.Protocol, pe.Nodes, pe.Shards, pe.MaxProcs)
+			}
+			fmt.Printf("%-22s total=%-12v per-seed=%-10v (%s n=%d seeds=%d maxprocs=%d)\n",
+				"seed-batch", time.Duration(sb.TotalNs), time.Duration(sb.NsPerSeed),
+				sb.Protocol, sb.Nodes, sb.Seeds, sb.MaxProcs)
 		}
 	}
 	if *scaling {

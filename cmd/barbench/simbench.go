@@ -56,6 +56,38 @@ type clusterReport struct {
 	simReport
 }
 
+// parallelReport measures the sharded lookahead-window engine (before =
+// serial fast engine, after = Config.Shards lanes) on one lossy run.
+// Both replay the identical schedule — byte-identical Results — so only
+// the time differs. On a single-core host the measurement is skipped
+// (the shard workers would only add coordination cost) and the reason
+// recorded, mirroring the self-skip of TestParallelEngineSpeedupGate.
+type parallelReport struct {
+	Protocol string `json:"protocol"`
+	Nodes    int    `json:"nodes"`
+	Epochs   int    `json:"epochs"`
+	Shards   int    `json:"shards"`
+	Reps     int    `json:"reps"`
+	MaxProcs int    `json:"maxprocs"`
+	Skipped  string `json:"skipped,omitempty"`
+	simReport
+}
+
+// batchReport times the SoA multi-seed batch executor on the ROADMAP
+// headline target (4096 nodes x 64 seeds): many replays of one config
+// in lockstep lane groups across the worker pool. There is no
+// before/after pair — the per-seed rate and the recorded maxprocs carry
+// the comparison across hosts.
+type batchReport struct {
+	Protocol  string `json:"protocol"`
+	Nodes     int    `json:"nodes"`
+	Epochs    int    `json:"epochs"`
+	Seeds     int    `json:"seeds"`
+	MaxProcs  int    `json:"maxprocs"`
+	TotalNs   int64  `json:"total_ns"`
+	NsPerSeed int64  `json:"ns_per_seed"`
+}
+
 // combinedOutput is the combined -json document (-sim and/or -scaling):
 // the barbench array plus the simulator perf measurements and the
 // split-scaling sweep archived in BENCH_SMOKE.json.
@@ -64,6 +96,8 @@ type combinedOutput struct {
 	MachineFastForward *ffReport       `json:"machine_fast_forward,omitempty"`
 	SweepParallel      *sweepReport    `json:"sweep_parallel,omitempty"`
 	ClusterEngine      *clusterReport  `json:"cluster_engine,omitempty"`
+	ParallelEngine     *parallelReport `json:"parallel_engine,omitempty"`
+	SeedBatch          *batchReport    `json:"seed_batch,omitempty"`
 	SplitScaling       []scalingRecord `json:"split_scaling,omitempty"`
 }
 
@@ -164,6 +198,79 @@ func measureClusterEngine(nodes, epochs, reps int) (clusterReport, error) {
 			BeforeNs: before.Nanoseconds(), AfterNs: after.Nanoseconds(),
 			Speedup: speedup(before, after),
 		},
+	}, nil
+}
+
+// measureParallelEngine times one lossy cluster run on the serial fast
+// engine vs. the sharded lookahead-window engine.
+func measureParallelEngine(nodes, epochs, reps int) (parallelReport, error) {
+	const proto = "dissemination"
+	rep := parallelReport{
+		Protocol: proto, Nodes: nodes, Epochs: epochs, Reps: reps,
+		MaxProcs: runtime.GOMAXPROCS(0),
+	}
+	rep.Shards = rep.MaxProcs
+	if rep.Shards > 8 {
+		rep.Shards = 8
+	}
+	if rep.MaxProcs == 1 {
+		rep.Skipped = "GOMAXPROCS=1: the sharded engine cannot gain wall clock on one core"
+		return rep, nil
+	}
+	run := func(shards int) error {
+		sim, err := cluster.New(cluster.Config{
+			Protocol: proto, Nodes: nodes, Epochs: epochs,
+			Work: 120, WorkJitter: 40, Region: 30,
+			Net:    cluster.NetConfig{Latency: 12, Jitter: 25, DropRate: 0.2, DupRate: 0.08},
+			Seed:   1234,
+			Shards: shards,
+		})
+		if err != nil {
+			return err
+		}
+		_, err = sim.Run()
+		return err
+	}
+	before, err := minTime(reps, func() error { return run(1) })
+	if err != nil {
+		return rep, err
+	}
+	after, err := minTime(reps, func() error { return run(rep.Shards) })
+	if err != nil {
+		return rep, err
+	}
+	rep.simReport = simReport{
+		BeforeNs: before.Nanoseconds(), AfterNs: after.Nanoseconds(),
+		Speedup: speedup(before, after),
+	}
+	return rep, nil
+}
+
+// measureSeedBatch times the multi-seed batch executor on one config
+// replayed across `seeds` seeds with the default worker pool.
+func measureSeedBatch(nodes, epochs, seeds int) (batchReport, error) {
+	const proto = "central"
+	cfg := cluster.Config{
+		Protocol: proto, Nodes: nodes, Epochs: epochs,
+		Work: 400, WorkJitter: 80, Region: 60,
+		Net: cluster.NetConfig{Latency: 20, Jitter: 10, DropRate: 0.005, DupRate: 0.002},
+	}
+	list := make([]uint64, seeds)
+	for i := range list {
+		list[i] = uint64(i + 1)
+	}
+	start := time.Now()
+	_, errs := cluster.RunBatch(cfg, list, 0, nil)
+	total := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return batchReport{}, err
+		}
+	}
+	return batchReport{
+		Protocol: proto, Nodes: nodes, Epochs: epochs, Seeds: seeds,
+		MaxProcs: runtime.GOMAXPROCS(0),
+		TotalNs:  total.Nanoseconds(), NsPerSeed: total.Nanoseconds() / int64(seeds),
 	}, nil
 }
 

@@ -27,22 +27,33 @@
 //	-seed S         RNG seed; same seed => byte-identical run (default 1)
 //	-seeds K        replay K consecutive seeds S..S+K-1 per protocol (default 1)
 //	-parallel N     workers for the (protocol, seed) sweep; 0 = GOMAXPROCS
-//	-engine E       event engine: fast (typed-event arena, default) or slow
-//	                (the original closure heap); output is byte-identical
+//	-engine E       event engine: fast (typed-event arena, default), slow
+//	                (the original closure heap), or parallel (sharded
+//	                lookahead windows); output is byte-identical
+//	-shards N       shard count for -engine parallel (0 = GOMAXPROCS)
+//	-progress       report seed-replay progress on stderr
 //	-log            print the full message-level event log
 //	-trace-out FILE write a Chrome trace-event JSON (chrome://tracing, Perfetto)
+//	-cpuprofile F   write a pprof CPU profile (also -memprofile,
+//	                -mutexprofile, -blockprofile)
 //
-// Every run is deterministic and replayable. A run the watchdog declares
-// stuck prints the per-node diagnosis and exits nonzero.
+// Every run is deterministic and replayable: multi-seed output carries a
+// per-seed transcript hash, and under -engine parallel every seed is
+// re-run on the serial engine and the hashes compared — any divergence
+// fails the run immediately. A run the watchdog declares stuck prints
+// the per-node diagnosis and exits nonzero.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
+	"runtime"
 	"strings"
 
 	"fuzzybarrier/internal/cluster"
+	"fuzzybarrier/internal/prof"
 	"fuzzybarrier/internal/sweep"
 	"fuzzybarrier/internal/trace"
 )
@@ -64,9 +75,15 @@ func main() {
 	seed := flag.Uint64("seed", 1, "RNG seed; same seed => byte-identical run")
 	seeds := flag.Int("seeds", 1, "replay this many consecutive seeds per protocol")
 	parallel := flag.Int("parallel", 0, "workers for the (protocol, seed) sweep; 0 = GOMAXPROCS")
-	engine := flag.String("engine", "fast", "event engine: fast (typed-event arena) or slow (closure heap)")
+	engine := flag.String("engine", "fast", "event engine: fast (typed-event arena), slow (closure heap), or parallel (sharded lookahead windows)")
+	shards := flag.Int("shards", 0, "shard count for -engine parallel; 0 = GOMAXPROCS")
+	progress := flag.Bool("progress", false, "report seed-replay progress on stderr")
 	logEvents := flag.Bool("log", false, "print the message-level event log")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file")
+	blockProfile := flag.String("blockprofile", "", "write a pprof blocking profile to this file")
 	flag.Parse()
 
 	protos := cluster.Protocols()
@@ -82,26 +99,27 @@ func main() {
 	if *logEvents && *seeds != 1 {
 		fatal(fmt.Errorf("-log wants -seeds 1, got %d seeds", *seeds))
 	}
-	if *engine != "fast" && *engine != "slow" {
-		fatal(fmt.Errorf("-engine wants fast or slow, got %q", *engine))
+	if *engine != "fast" && *engine != "slow" && *engine != "parallel" {
+		fatal(fmt.Errorf("-engine wants fast, slow, or parallel, got %q", *engine))
+	}
+	if *engine == "parallel" && *traceOut != "" {
+		fatal(fmt.Errorf("-engine parallel cannot record a chrome trace; use -engine fast"))
+	}
+	nShards := 1
+	if *engine == "parallel" {
+		nShards = *shards
+		if nShards <= 0 {
+			nShards = runtime.GOMAXPROCS(0)
+		}
 	}
 
-	// Each (protocol, seed) cell is an independent replay. Cells run on
-	// the sweep worker pool; output is buffered per cell and printed in
-	// index order, so the transcript is identical at any -parallel.
-	type cellOut struct {
-		text   string
-		failed bool
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *mutexProfile, *blockProfile)
+	if err != nil {
+		fatal(err)
 	}
-	nCells := len(protos) * *seeds
-	cells, err := sweep.Run(sweep.Workers(*parallel), nCells, func(i int) (cellOut, error) {
-		p := protos[i / *seeds]
-		s := *seed + uint64(i%*seeds)
-		var rec *trace.Recorder
-		if *traceOut != "" {
-			rec = trace.NewRecorder(*nodes)
-		}
-		sim, err := cluster.New(cluster.Config{
+
+	baseConfig := func(p string, s uint64) cluster.Config {
+		return cluster.Config{
 			Protocol:   p,
 			Nodes:      *nodes,
 			Epochs:     *epochs,
@@ -116,50 +134,131 @@ func main() {
 			TreeArity:         *arity,
 			Seed:              s,
 			LogEvents:         *logEvents,
-			Recorder:          rec,
 			DisableFastEngine: *engine == "slow",
-		})
-		if err != nil {
-			return cellOut{}, err
+			Shards:            nShards,
 		}
-		res, runErr := sim.Run()
-		var b strings.Builder
-		if *logEvents {
-			for _, line := range sim.EventLog() {
-				fmt.Fprintln(&b, line)
+	}
+	var progressHook func(done, total int)
+	if *progress {
+		progressHook = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rseeds %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
 			}
 		}
-		if *seeds > 1 {
-			fmt.Fprintf(&b, "seed %d:\n", s)
+	}
+
+	// Each (protocol, seed) cell is an independent replay. Cells run on
+	// the sweep worker pool — or, for plain multi-seed fast-engine runs,
+	// on the lockstep multi-seed batch executor — and output is buffered
+	// per cell and printed in index order, so the transcript is identical
+	// at any -parallel and on either executor.
+	type cellOut struct {
+		text   string
+		failed bool
+	}
+	multi := *seeds > 1
+	renderCell := func(p string, s uint64, res *cluster.Result, log []string, runErr error) cellOut {
+		transcript := renderTranscript(res, log)
+		var b strings.Builder
+		if multi {
+			// The transcript hash makes engine-equivalence regressions
+			// visible outside the test suite: identical runs hash
+			// identically across -engine fast/slow/parallel and any
+			// -parallel worker count.
+			fmt.Fprintf(&b, "seed %d: transcript=%016x\n", s, transcriptHash(transcript))
 		}
-		fmt.Fprintln(&b, res)
-		for n, st := range res.PerNodeStall {
-			fmt.Fprintf(&b, "  node %-3d stall=%-8d (%.1f/epoch)\n", n, st, float64(st)/maxF(1, float64(res.Epochs)))
-		}
+		b.WriteString(transcript)
 		out := cellOut{text: b.String()}
 		if runErr != nil {
 			fmt.Fprintf(os.Stderr, "clustersim: %v\n", runErr)
 			out.failed = true
 		}
-		if rec != nil {
-			f, err := os.Create(*traceOut)
+		return out
+	}
+	// checkSerial re-runs one parallel-engine cell on the serial fast
+	// engine and fails fast on any transcript divergence, so equivalence
+	// regressions surface outside the test suite too.
+	checkSerial := func(p string, s uint64, parRes *cluster.Result, parLog []string) error {
+		cfg := baseConfig(p, s)
+		cfg.Shards = 1
+		sim, err := cluster.New(cfg)
+		if err != nil {
+			return err
+		}
+		serRes, _ := sim.Run()
+		parT, serT := renderTranscript(parRes, parLog), renderTranscript(serRes, sim.EventLog())
+		if parT != serT {
+			return fmt.Errorf("%s seed %d: parallel engine diverges from serial (parallel transcript=%016x, serial=%016x)",
+				p, s, transcriptHash(parT), transcriptHash(serT))
+		}
+		return nil
+	}
+
+	nCells := len(protos) * *seeds
+	var cells []cellOut
+	if *engine == "fast" && *traceOut == "" && !*logEvents && multi {
+		// The batch path: K seeds of one config in lockstep lane groups.
+		cells = make([]cellOut, nCells)
+		seedList := make([]uint64, *seeds)
+		for i := range seedList {
+			seedList[i] = *seed + uint64(i)
+		}
+		for pi, p := range protos {
+			hook := progressHook
+			if hook != nil {
+				off := pi * *seeds
+				hook = func(done, total int) { progressHook(off+done, nCells) }
+			}
+			results, errs := cluster.RunBatch(baseConfig(p, 0), seedList, sweep.Workers(*parallel), hook)
+			for i, res := range results {
+				if res == nil { // config rejected before the run started
+					fatal(errs[i])
+				}
+				cells[pi**seeds+i] = renderCell(p, seedList[i], res, nil, errs[i])
+			}
+		}
+	} else {
+		cells, err = sweep.RunProgress(sweep.Workers(*parallel), nCells, progressHook, func(i int) (cellOut, error) {
+			p := protos[i / *seeds]
+			s := *seed + uint64(i%*seeds)
+			var rec *trace.Recorder
+			if *traceOut != "" {
+				rec = trace.NewRecorder(*nodes)
+			}
+			cfg := baseConfig(p, s)
+			cfg.Recorder = rec
+			sim, err := cluster.New(cfg)
 			if err != nil {
 				return cellOut{}, err
 			}
-			if err := rec.WriteChrome(f); err != nil {
-				f.Close()
-				return cellOut{}, err
+			res, runErr := sim.Run()
+			out := renderCell(p, s, res, sim.EventLog(), runErr)
+			if *engine == "parallel" {
+				if err := checkSerial(p, s, res, sim.EventLog()); err != nil {
+					return cellOut{}, err
+				}
 			}
-			if err := f.Close(); err != nil {
-				return cellOut{}, err
+			if rec != nil {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					return cellOut{}, err
+				}
+				if err := rec.WriteChrome(f); err != nil {
+					f.Close()
+					return cellOut{}, err
+				}
+				if err := f.Close(); err != nil {
+					return cellOut{}, err
+				}
+				out.text += fmt.Sprintf("chrome trace: %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
 			}
-			fmt.Fprintf(&b, "chrome trace: %s (load in chrome://tracing or https://ui.perfetto.dev)\n", *traceOut)
-			out.text = b.String()
+			return out, nil
+		})
+		if err != nil {
+			stopProf()
+			fatal(err)
 		}
-		return out, nil
-	})
-	if err != nil {
-		fatal(err)
 	}
 	exit := 0
 	for _, c := range cells {
@@ -168,7 +267,36 @@ func main() {
 			exit = 1
 		}
 	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
+		if exit == 0 {
+			exit = 1
+		}
+	}
 	os.Exit(exit)
+}
+
+// renderTranscript renders one run's deterministic transcript: the
+// event log (when enabled), the Result line, and the per-node stall
+// table. Identical runs — any engine, any executor — render
+// byte-identical transcripts.
+func renderTranscript(res *cluster.Result, log []string) string {
+	var b strings.Builder
+	for _, line := range log {
+		fmt.Fprintln(&b, line)
+	}
+	fmt.Fprintln(&b, res)
+	for n, st := range res.PerNodeStall {
+		fmt.Fprintf(&b, "  node %-3d stall=%-8d (%.1f/epoch)\n", n, st, float64(st)/maxF(1, float64(res.Epochs)))
+	}
+	return b.String()
+}
+
+// transcriptHash is the per-seed divergence fingerprint (FNV-1a).
+func transcriptHash(transcript string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(transcript))
+	return h.Sum64()
 }
 
 func maxF(a, b float64) float64 {

@@ -10,6 +10,9 @@
 //	experiments -out DIR         # also write one .txt and .csv per experiment
 //	experiments -trace-out FILE  # write a Chrome trace of the drift workload
 //	experiments -parallel N      # sweep-cell workers (0 = GOMAXPROCS)
+//	experiments -progress        # report sweep-cell progress on stderr
+//	experiments -mutexprofile f  # pprof mutex-contention profile (also
+//	                             # -cpuprofile, -memprofile, -blockprofile)
 package main
 
 import (
@@ -30,12 +33,23 @@ func main() {
 	outDir := flag.String("out", "", "also write per-experiment .txt and .csv files to this directory")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the E14 drift workload")
 	parallel := flag.Int("parallel", 0, "workers for independent sweep cells; 0 = GOMAXPROCS, 1 = serial (tables are identical either way)")
+	progress := flag.Bool("progress", false, "report sweep-cell completion counts on stderr while experiments run")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	mutexProfile := flag.String("mutexprofile", "", "write a pprof mutex-contention profile to this file")
+	blockProfile := flag.String("blockprofile", "", "write a pprof blocking profile to this file")
 	flag.Parse()
 
 	exp.SetParallelism(*parallel)
-	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if *progress {
+		exp.SetProgress(func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r  sweep %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		})
+	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile, *mutexProfile, *blockProfile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)

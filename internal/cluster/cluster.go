@@ -91,6 +91,16 @@ type Config struct {
 	LogEvents bool            // record the textual event log (Sim.EventLog)
 	Recorder  *trace.Recorder // optional lane/event recording (nil = off)
 
+	// Shards > 1 runs the sharded parallel engine (par.go): nodes are
+	// split into that many contiguous groups, each advanced by its own
+	// worker under conservative lookahead windows. Results and event
+	// logs are byte-identical to the serial engines at every shard
+	// count; the knob trades wall-clock for cores. Clamped to
+	// [1, Nodes]; <= 0 (the zero value) selects the serial engine.
+	// Incompatible with DisableFastEngine and with Recorder (lane
+	// recording is inherently sequential).
+	Shards int
+
 	// DisableFastEngine falls back to the original closure-based
 	// container/heap event loop instead of the pooled typed-event
 	// engine. The two engines replay the same schedule event for event
@@ -99,6 +109,11 @@ type Config struct {
 	// the engine speedup itself (BenchmarkClusterEngine, bench-gate).
 	DisableFastEngine bool
 }
+
+// maxNodes bounds Config.Nodes so delivery priorities (sender id above
+// a 40-bit per-sender transmission counter, below the local-event bit)
+// can never collide; see sim.go's key layout.
+const maxNodes = 1 << 22
 
 // Protocols returns the implemented protocol names in presentation
 // order. Experiment sweeps and the clustersim CLI derive their ranges
@@ -119,6 +134,26 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.Nodes < 1 {
 		return cfg, fmt.Errorf("cluster: need >= 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.Nodes > maxNodes {
+		// Delivery priorities pack (sender+1, per-sender transmission
+		// counter) into 64 bits below localPriBit; the cap keeps that
+		// packing collision-free with enormous headroom.
+		return cfg, fmt.Errorf("cluster: %d nodes exceeds the supported maximum %d", cfg.Nodes, maxNodes)
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > cfg.Nodes {
+		cfg.Shards = cfg.Nodes
+	}
+	if cfg.Shards > 1 {
+		if cfg.DisableFastEngine {
+			return cfg, fmt.Errorf("cluster: Shards=%d requires the fast engine (DisableFastEngine set)", cfg.Shards)
+		}
+		if cfg.Recorder != nil {
+			return cfg, fmt.Errorf("cluster: Shards=%d is incompatible with a trace Recorder (use LogEvents)", cfg.Shards)
+		}
 	}
 	if cfg.Epochs < 0 {
 		return cfg, fmt.Errorf("cluster: negative epoch count %d", cfg.Epochs)

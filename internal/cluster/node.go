@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"fuzzybarrier/internal/trace"
-	"fuzzybarrier/internal/transport"
 )
 
 // node is one cluster participant. Its life is the paper's episode
@@ -13,10 +12,22 @@ import (
 // not released e by the time the region ends. The protocol's release
 // latency is therefore overlapped with (absorbed by) the region, and
 // the node's stall counter records exactly the unabsorbed remainder.
+//
+// A node belongs to exactly one execution lane (x): the run's single
+// exec in serial mode, its shard's exec in a parallel run. Everything
+// the node mutates — its own fields, its outbox, the lane's engine and
+// counters — is owned by that lane, which is the ownership discipline
+// the parallel engine's lock-free design rests on.
 type node struct {
-	id    int
-	s     *Sim
-	rng   *rng // work-jitter draws
+	id int
+	x  *exec
+	s  *Sim // cfg and the node table (read-only during a run)
+
+	rng    *rng // work-jitter draws
+	netRNG *rng // per-sender link draws (latency jitter, drop, dup)
+	txSeq  uint64
+	lseq   uint64 // local-event priority counter (work/region/retx)
+
 	out   *outbox
 	proto Proto
 
@@ -38,11 +49,14 @@ type node struct {
 // cannot reach.
 var newProtoHook func(protocol string, env ProtoEnv) Proto
 
-func newNode(s *Sim, id int) *node {
+func newNode(x *exec, id int) *node {
+	s := x.s
 	n := &node{
 		id:        id,
+		x:         x,
 		s:         s,
 		rng:       newRNG(mix(s.cfg.Seed, uint64(id)+1)),
+		netRNG:    newRNG(mix(mix(s.cfg.Seed, 0xC0FFEE), uint64(id)+1)),
 		arriveAt:  make([]int64, s.cfg.Epochs),
 		releaseAt: make([]int64, s.cfg.Epochs),
 	}
@@ -58,6 +72,12 @@ func newNode(s *Sim, id int) *node {
 	}
 	n.proto = p
 	return n
+}
+
+// nextPri consumes the node's next local-event priority.
+func (n *node) nextPri() uint64 {
+	n.lseq++
+	return localPriBit | n.lseq
 }
 
 // node implements ProtoEnv: the protocol machines act on the simulation
@@ -76,7 +96,7 @@ func (n *node) Release(e int64)        { n.release(e) }
 func (n *node) startEpoch(e int64) {
 	if e >= int64(n.s.cfg.Epochs) {
 		n.done = true
-		n.s.doneNodes++
+		n.x.doneNodes++
 		return
 	}
 	n.epoch = e
@@ -87,15 +107,15 @@ func (n *node) startEpoch(e int64) {
 	if n.s.cfg.StraggleExtra > 0 && n.id == n.s.cfg.Straggler {
 		w += n.s.cfg.StraggleExtra
 	}
-	n.s.schedWork(n, e, w)
+	n.x.schedWork(n, e, w)
 }
 
 // workDone is the node's Arrive(e): record the timestamp, let the
 // protocol start synchronizing, and begin the barrier region.
 func (n *node) workDone(e int64) {
-	n.arriveAt[e] = n.s.now
+	n.arriveAt[e] = n.x.now
 	n.proto.Arrive(e)
-	n.s.schedRegion(n, e, n.s.cfg.Region)
+	n.x.schedRegion(n, e, n.s.cfg.Region)
 }
 
 // regionDone is the node's Wait(e): free if the release already
@@ -106,7 +126,7 @@ func (n *node) regionDone(e int64) {
 		return
 	}
 	n.blocked = true
-	n.blockedAt = n.s.now
+	n.blockedAt = n.x.now
 }
 
 // release marks epoch e complete at this node; the protocols call it
@@ -121,17 +141,17 @@ func (n *node) release(e int64) {
 	if e > n.releasedThrough {
 		panic(fmt.Sprintf("cluster: node %d released epoch %d before %d", n.id, e, n.releasedThrough))
 	}
-	n.releaseAt[e] = n.s.now
+	n.releaseAt[e] = n.x.now
 	n.releasedThrough = e + 1
-	n.s.lastProgress = n.s.now
+	n.x.lastProgress = n.x.now
 	if rec := n.s.cfg.Recorder; rec != nil {
-		rec.Mark(n.s.now, n.id, trace.KindSync)
-		rec.Eventf(n.s.now, n.id, "epoch %d complete", e)
+		rec.Mark(n.x.now, n.id, trace.KindSync)
+		rec.Eventf(n.x.now, n.id, "epoch %d complete", e)
 	}
 	if n.blocked {
 		n.blocked = false
-		n.stall += n.s.now - n.blockedAt
-		n.markRange(n.blockedAt, n.s.now, trace.KindStall)
+		n.stall += n.x.now - n.blockedAt
+		n.markRange(n.blockedAt, n.x.now, trace.KindStall)
 		n.startEpoch(e + 1)
 	}
 }
@@ -145,8 +165,8 @@ func (n *node) handle(m Message) {
 		n.out.ack(m.Seq)
 		return
 	}
-	n.s.acks++
-	n.s.net.send(Message{Kind: MsgAck, From: n.id, To: m.From, Epoch: m.Epoch, Seq: m.Seq})
+	n.x.acks++
+	n.x.netSend(Message{Kind: MsgAck, From: n.id, To: m.From, Epoch: m.Epoch, Seq: m.Seq})
 	n.proto.Handle(m)
 }
 
@@ -174,167 +194,4 @@ func (n *node) stateLine() string {
 		return fmt.Sprintf("executing epoch %d (released through %d); unacked=%d; %s",
 			n.epoch, n.releasedThrough, n.out.live(), n.proto.PendingLine())
 	}
-}
-
-// outbox is the cluster-side host of the extracted reliability layer
-// (transport.Window): each logical send keeps a pending record until the
-// matching ack returns; a timer retransmits on a Jacobson/Karels-estimated
-// RTO with exponential backoff (capped at MaxRTO). Retransmissions reuse
-// the original sequence number, so the receiver's ack matches whichever
-// copy got through and duplicates are harmless. The ring, RTO policy,
-// Karn's rule and the retransmit-deadline heap live in
-// internal/transport/window.go — one verified codepath shared with the
-// real barrierd transports; what stays here is the engine-specific timer
-// arming.
-//
-// Timers differ per engine. The closure engine arms one heap event per
-// send/retransmit, exactly as before. The fast engine instead keeps the
-// window's deadline queue (tq) plus a small stack of armed heap events
-// (armed): a send or retransmission records its (deadline, armseq) in
-// tq, and a heap event is inserted only when the new deadline undercuts
-// every armed one. Acks cancel nothing — a fired event whose message was
-// acked or re-armed is skipped ("lazy cancel") and the queue head
-// re-armed. Because re-arming inserts the event at the original
-// (deadline, armseq) key (armseq is consumed at arm time in both
-// engines), every real retransmission still fires at exactly the key the
-// closure engine would have given its per-message timer: the invariant
-// is that the smallest armed key never exceeds the smallest live
-// deadline key, so by induction an event with exactly that key fires,
-// matches, and retransmits.
-type outbox struct {
-	n *node
-	w transport.Window[Message]
-
-	armed []retxKey // armed heap-event keys, descending (top = last = smallest)
-}
-
-// retxKey is the (at, seq) key of an outstanding evRetx heap event.
-type retxKey struct {
-	at  int64
-	seq uint64
-}
-
-func newOutbox(n *node) *outbox {
-	o := &outbox{n: n}
-	o.w.Init()
-	return o
-}
-
-// live returns the number of pending (unacked) messages, for stuck
-// reports.
-func (o *outbox) live() int { return o.w.Live }
-
-// send transmits m reliably (assigning its sequence number).
-func (o *outbox) send(m Message) {
-	m.Seq = o.w.Assign()
-	m.From = o.n.id
-	s := o.n.s
-	p := o.w.Claim(m.Seq)
-	*p = transport.Pending[Message]{Msg: m, Seq: m.Seq, FirstSent: s.now, RTO: o.rto(), Tries: 1, InUse: true}
-	o.w.Live++
-	s.sends++
-	if s.wantLog {
-		s.logf(o.n.id, trace.EvSend, "send %v", m)
-	}
-	s.net.send(m)
-	o.arm(p)
-}
-
-// arm consumes one sequence number for p's retransmit timer — a heap
-// closure on the slow engine, a tq entry (plus at most one heap event)
-// on the fast engine.
-func (o *outbox) arm(p *transport.Pending[Message]) {
-	s := o.n.s
-	if s.fast == nil {
-		seq := p.Seq
-		s.schedule(p.RTO, func() { o.timeout(seq) })
-		return
-	}
-	s.eseq++
-	p.Armseq = s.eseq
-	p.Deadline = s.now + p.RTO
-	o.w.TQPush(transport.RetxEntry{Deadline: p.Deadline, Armseq: p.Armseq, Seq: p.Seq})
-	o.ensureArmed()
-}
-
-// ensureArmed inserts an evRetx heap event at the timer queue's minimum
-// key unless an armed event already covers it (armed top <= minimum).
-// Armed keys strictly decrease as they are pushed, so `armed` is a
-// stack with the smallest key on top — and heap events fire in key
-// order, so fireRetx always pops exactly that top.
-func (o *outbox) ensureArmed() {
-	if o.w.TQLen() == 0 {
-		return
-	}
-	head := o.w.TQHead()
-	if len(o.armed) > 0 {
-		top := o.armed[len(o.armed)-1]
-		if top.at < head.Deadline || (top.at == head.Deadline && top.seq <= head.Armseq) {
-			return
-		}
-	}
-	o.armed = append(o.armed, retxKey{at: head.Deadline, seq: head.Armseq})
-	o.n.s.fast.scheduleAt(head.Deadline, head.Armseq, evRetx, int32(o.n.id), 0, 0, Message{})
-}
-
-// fireRetx handles one evRetx heap event: prune acked/re-armed
-// deadlines, retransmit the message whose deadline key matches the
-// fired event exactly (if it is still live), and re-arm the queue head.
-func (o *outbox) fireRetx(at int64, seq uint64) {
-	top := o.armed[len(o.armed)-1]
-	if top.at != at || top.seq != seq {
-		panic(fmt.Sprintf("cluster: node %d retransmit timer fired out of order (got t=%d seq=%d, armed t=%d seq=%d)",
-			o.n.id, at, seq, top.at, top.seq))
-	}
-	o.armed = o.armed[:len(o.armed)-1]
-	for o.w.TQLen() > 0 {
-		e := o.w.TQHead()
-		p := o.w.Slot(e.Seq)
-		if p == nil || p.Armseq != e.Armseq {
-			o.w.TQPop() // stale: acked, or re-armed by a later retransmission
-			continue
-		}
-		if e.Deadline == at && e.Armseq == seq {
-			o.w.TQPop()
-			o.retransmit(p)
-		}
-		// A live head with a later key means this event fired early
-		// (its message was acked after arming); the head stays queued.
-		break
-	}
-	o.ensureArmed()
-}
-
-// timeout is the slow engine's per-message timer callback.
-func (o *outbox) timeout(seq uint64) {
-	p := o.w.Slot(seq)
-	if p == nil {
-		return // acked since the timer was armed
-	}
-	o.retransmit(p)
-}
-
-// retransmit re-sends a still-unacked message, doubling its RTO.
-func (o *outbox) retransmit(p *transport.Pending[Message]) {
-	o.w.Backoff(p, o.n.s.cfg.MaxRTO)
-	s := o.n.s
-	s.retransmits++
-	if s.wantLog {
-		s.logf(o.n.id, trace.EvRetransmit, "retransmit %v try=%d rto=%d", p.Msg, p.Tries, p.RTO)
-	}
-	s.net.send(p.Msg)
-	o.arm(p)
-}
-
-// ack retires a pending message (transport.Window applies Karn's rule:
-// only never-retransmitted messages contribute RTT samples).
-func (o *outbox) ack(seq uint64) {
-	o.w.Ack(seq, o.n.s.now)
-}
-
-// rto returns the current retransmission timeout from the shared policy
-// (estimator recommendation plus one tick of granularity, clamped to
-// [InitRTO/4, MaxRTO]; InitRTO before any sample).
-func (o *outbox) rto() int64 {
-	return o.w.NextRTO(o.n.s.cfg.InitRTO, o.n.s.cfg.MaxRTO)
 }

@@ -3,31 +3,78 @@ package cluster
 import (
 	"container/heap"
 	"fmt"
+	"math"
+	"sort"
 
 	"fuzzybarrier/internal/trace"
 )
 
-// event is one scheduled callback of the fallback (closure) engine. seq
-// breaks time ties in insertion order, which — together with the
-// single-threaded loop and seeded RNG — makes every run fully
-// deterministic. The default engine replaces this with pooled typed
-// events (see engine.go) but keeps the same (at, seq) discipline, so
-// both replay the identical schedule.
-type event struct {
-	at  int64
-	seq uint64
-	fn  func()
+// Event ordering. Every event carries a canonical key
+// (at, node, pri): the simulation tick, the *owner* node (the node on
+// which the event executes — for deliveries, the destination), and a
+// 64-bit per-owner priority. All engines — the closure heap, the typed
+// fast engine, and the sharded parallel engine — dispatch in strictly
+// ascending key order, which is what makes their event logs and Results
+// byte-identical (TestEngineEquivalence).
+//
+// The priority space is split so that every component of the key is
+// produced by state local to one node, never by a global counter — the
+// property the parallel engine depends on (a shard can compute the keys
+// of the events it creates without synchronizing with any other shard):
+//
+//   - local events (work/region spans, retransmit timers) take
+//     localPriBit | lseq from the owner's monotone counter, consumed at
+//     scheduling (or timer-arming) time;
+//   - deliveries take deliverPri(from, txSeq) from the *sender's*
+//     monotone transmission counter, consumed per network copy.
+//
+// Delivery priorities sort below local ones, so at equal (at, node) all
+// deliveries dispatch before any same-tick local event. That inequality
+// is also what keeps the wheel's dispatch cursor safe: a handler that
+// schedules a zero-delay local event always lands it after the event
+// being dispatched (deliveries never have zero delay — link latency is
+// >= 1).
+const localPriBit = uint64(1) << 63
+
+// deliverPriBits is the per-sender transmission-counter width inside a
+// delivery priority; the sender id occupies the bits above it (bounded
+// by the maxNodes validation in withDefaults).
+const deliverPriBits = 40
+
+// deliverPri builds the priority of one network transmission copy.
+func deliverPri(from int, txSeq uint64) uint64 {
+	return (uint64(from)+1)<<deliverPriBits | txSeq
 }
 
-// eventHeap is a min-heap on (at, seq).
+// keyLess is the canonical event order.
+func keyLess(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.node != b.node {
+		return a.node < b.node
+	}
+	return a.pri < b.pri
+}
+
+// event is one scheduled callback of the fallback (closure) engine,
+// carrying the canonical key explicitly. The default engine replaces
+// this with pooled typed events (see engine.go) but dispatches in the
+// same key order, so both replay the identical schedule.
+type event struct {
+	at   int64
+	node int32
+	pri  uint64
+	fn   func()
+}
+
+// eventHeap is a min-heap on the canonical key.
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+	return keyLess(heapEntry{at: h[i].at, node: h[i].node, pri: h[i].pri},
+		heapEntry{at: h[j].at, node: h[j].node, pri: h[j].pri})
 }
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
@@ -40,30 +87,61 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// logLine is one buffered event-log line in a parallel run, keyed by
+// the dispatching event plus an intra-event counter so the per-shard
+// buffers merge into exactly the serial emission order.
+type logLine struct {
+	at   int64
+	pri  uint64
+	node int32
+	sub  int32
+	text string
+}
+
+// exec is one execution lane: the mutable engine state that advances a
+// set of nodes through simulated time. The serial engines use a single
+// exec for the whole run; the parallel engine gives each shard its own,
+// so nothing on an exec ever needs atomic access — cross-shard traffic
+// moves exclusively through the parallel engine's inboxes at window
+// boundaries.
+type exec struct {
+	s     *Sim
+	shard int32
+	now   int64
+
+	fast *fastEngine // typed-event engine; nil only on the closure engine
+	heap eventHeap   // closure engine (cfg.DisableFastEngine; serial only)
+
+	lastProgress int64 // sim time of this lane's most recent epoch completion
+	doneNodes    int
+
+	// Network/reliability counters (summed into Result across lanes).
+	sends, acks, retransmits, drops, dups, delivered int64
+
+	// Event-log buffering (parallel lanes only): lines carry the
+	// dispatching event's key so a merge reproduces serial order.
+	lines           []logLine
+	curAt           int64
+	curPri          uint64
+	curNode, curSub int32
+}
+
 // Sim is one deterministic discrete-event cluster-barrier run.
 type Sim struct {
 	cfg   Config
-	now   int64
-	heap  eventHeap   // closure engine (cfg.DisableFastEngine)
-	fast  *fastEngine // typed-event engine (default); nil when disabled
-	eseq  uint64
-	net   *network
+	ex    *exec      // serial lane (nil when sharded)
+	par   *parEngine // sharded parallel engine (Config.Shards > 1)
 	nodes []*node
 	log   []string
+	tail  []string // stuck-diagnosis lines, appended after any merge
 
 	// wantLog gates every hot-path logf call site so the variadic
 	// argument slice is never even built when neither sink is active —
 	// the zero-alloc steady state depends on this.
 	wantLog bool
 
-	lastProgress int64 // sim time of the most recent epoch completion
-	doneNodes    int
-	stuck        *StuckReport
-
-	// Network/reliability counters (see Result).
-	sends, acks, retransmits, drops, dups, delivered int64
-
-	ran bool
+	stuck *StuckReport
+	ran   bool
 }
 
 // New validates cfg, applies defaults, and builds a ready-to-Run Sim.
@@ -74,93 +152,154 @@ func New(cfg Config) (*Sim, error) {
 	}
 	s := &Sim{cfg: cfg}
 	s.wantLog = cfg.Recorder != nil || cfg.LogEvents
-	if !cfg.DisableFastEngine {
-		s.fast = newFastEngine(s)
-	}
-	s.net = &network{s: s, rng: newRNG(mix(cfg.Seed, 0xC0FFEE))}
 	s.nodes = make([]*node, cfg.Nodes)
+	if cfg.Shards > 1 {
+		s.par = newParEngine(s)
+	} else {
+		s.ex = s.newExec(0)
+	}
 	for i := range s.nodes {
-		s.nodes[i] = newNode(s, i)
+		x := s.ex
+		if s.par != nil {
+			x = s.par.shards[s.par.shardOf[i]]
+		}
+		s.nodes[i] = newNode(x, i)
 	}
 	return s, nil
 }
 
-// schedule runs fn after delay ticks (clamped to now for non-positive
-// delays) on the closure engine.
-func (s *Sim) schedule(delay int64, fn func()) {
+// newExec builds one execution lane (with its typed engine unless the
+// closure engine was requested — serial only).
+func (s *Sim) newExec(shard int32) *exec {
+	x := &exec{s: s, shard: shard}
+	if !s.cfg.DisableFastEngine {
+		x.fast = newFastEngine(x)
+	}
+	return x
+}
+
+// schedule runs fn at the given key on the closure engine.
+func (x *exec) schedule(delay int64, node int32, pri uint64, fn func()) {
 	if delay < 0 {
 		delay = 0
 	}
-	s.eseq++
-	heap.Push(&s.heap, &event{at: s.now + delay, seq: s.eseq, fn: fn})
+	heap.Push(&x.heap, &event{at: x.now + delay, node: node, pri: pri, fn: fn})
 }
 
 // schedWork schedules the end of node n's non-barrier work span for
-// epoch e. Both engines consume exactly one sequence number here, so
-// their (at, seq) orderings stay aligned.
-func (s *Sim) schedWork(n *node, e, delay int64) {
-	if s.fast != nil {
-		s.fast.schedule(delay, evWork, int32(n.id), e, s.now, Message{})
+// epoch e. Both serial engines consume exactly one local priority here,
+// so their key orderings stay aligned.
+func (x *exec) schedWork(n *node, e, delay int64) {
+	pri := n.nextPri()
+	if x.fast != nil {
+		if delay < 0 {
+			delay = 0
+		}
+		x.fast.scheduleAt(x.now+delay, int32(n.id), pri, evWork, e, x.now, Message{})
 		return
 	}
-	start := s.now
-	s.schedule(delay, func() {
-		n.markRange(start, s.now, trace.KindWork)
+	start := x.now
+	x.schedule(delay, int32(n.id), pri, func() {
+		n.markRange(start, x.now, trace.KindWork)
 		n.workDone(e)
 	})
 }
 
 // schedRegion schedules the end of node n's barrier-region span for
 // epoch e.
-func (s *Sim) schedRegion(n *node, e, delay int64) {
-	if s.fast != nil {
-		s.fast.schedule(delay, evRegion, int32(n.id), e, s.now, Message{})
+func (x *exec) schedRegion(n *node, e, delay int64) {
+	pri := n.nextPri()
+	if x.fast != nil {
+		if delay < 0 {
+			delay = 0
+		}
+		x.fast.scheduleAt(x.now+delay, int32(n.id), pri, evRegion, e, x.now, Message{})
 		return
 	}
-	start := s.now
-	s.schedule(delay, func() {
-		n.markRange(start, s.now, trace.KindBarrier)
+	start := x.now
+	x.schedule(delay, int32(n.id), pri, func() {
+		n.markRange(start, x.now, trace.KindBarrier)
 		n.regionDone(e)
 	})
 }
 
-// schedDeliver schedules one network delivery of m.
-func (s *Sim) schedDeliver(m Message, delay int64) {
-	if s.fast != nil {
-		s.fast.schedule(delay, evDeliver, 0, 0, 0, m)
+// schedDeliver schedules one network delivery of m at the
+// sender-computed priority. Cross-shard deliveries detour through the
+// parallel engine's inboxes; conservative lookahead (delay >= link
+// latency >= window length) guarantees they dispatch in a later window,
+// so the owner shard drains them at a window boundary it has not yet
+// simulated past.
+func (x *exec) schedDeliver(m Message, delay, at int64, pri uint64) {
+	if p := x.s.par; p != nil {
+		if ts := p.shardOf[m.To]; ts != x.shard {
+			p.inbox[ts][x.shard] = append(p.inbox[ts][x.shard], inEvent{at: at, pri: pri, msg: m})
+			return
+		}
+	}
+	if x.fast != nil {
+		x.fast.scheduleAt(at, int32(m.To), pri, evDeliver, 0, 0, m)
 		return
 	}
-	s.schedule(delay, func() { s.deliver(m) })
+	x.schedule(delay, int32(m.To), pri, func() { x.deliver(m) })
 }
 
 // deliver hands one transmission to its destination node.
-func (s *Sim) deliver(m Message) {
-	s.delivered++
-	if s.wantLog {
-		s.logf(m.To, trace.EvRecv, "recv %v", m)
+func (x *exec) deliver(m Message) {
+	x.delivered++
+	if x.s.wantLog {
+		x.logf(m.To, trace.EvRecv, "recv %v", m)
 	}
-	s.nodes[m.To].handle(m)
+	x.s.nodes[m.To].handle(m)
 }
 
 // logf records one event-log line and mirrors it to the trace recorder.
-// The log is append-only and produced by a single-threaded loop, so for
-// a fixed Config it is byte-identical across runs — the replayability
-// guarantee the fault-injection tests pin down. Each sink's output is
-// built exactly once: recorder-only runs format straight into the
-// recorder, and when both sinks are active the rendered message is
-// shared instead of being re-formatted per sink.
-func (s *Sim) logf(nodeID int, kind trace.EventKind, format string, args ...any) {
+// The log is append-only and — after the parallel merge — in canonical
+// event-key order, so for a fixed Config it is byte-identical across
+// runs and engines. Each sink's output is built exactly once:
+// recorder-only runs format straight into the recorder, and when both
+// sinks are active the rendered message is shared instead of being
+// re-formatted per sink.
+func (x *exec) logf(nodeID int, kind trace.EventKind, format string, args ...any) {
+	s := x.s
+	if s.par != nil {
+		// Sharded lanes buffer keyed lines (Recorder is rejected at
+		// validation when Shards > 1).
+		msg := fmt.Sprintf(format, args...)
+		x.lines = append(x.lines, logLine{
+			at: x.curAt, pri: x.curPri, node: x.curNode, sub: x.curSub,
+			text: fmt.Sprintf("t=%-8d n%-3d %-14s %s", x.now, nodeID, kind, msg),
+		})
+		x.curSub++
+		return
+	}
 	rec := s.cfg.Recorder
 	if !s.cfg.LogEvents {
 		if rec == nil {
 			return
 		}
-		rec.EventKindf(s.now, nodeID, kind, format, args...)
+		rec.EventKindf(x.now, nodeID, kind, format, args...)
 		return
 	}
 	msg := fmt.Sprintf(format, args...)
-	rec.EventKind(s.now, nodeID, kind, msg)
-	s.log = append(s.log, fmt.Sprintf("t=%-8d n%-3d %-14s %s", s.now, nodeID, kind, msg))
+	rec.EventKind(x.now, nodeID, kind, msg)
+	s.log = append(s.log, fmt.Sprintf("t=%-8d n%-3d %-14s %s", x.now, nodeID, kind, msg))
+}
+
+// tailf records one stuck-diagnosis line. These always terminate the
+// log, so they bypass the per-event key merge and land in a tail buffer
+// appended after it.
+func (s *Sim) tailf(now int64, nodeID int, kind trace.EventKind, format string, args ...any) {
+	rec := s.cfg.Recorder
+	if !s.cfg.LogEvents {
+		if rec == nil {
+			return
+		}
+		rec.EventKindf(now, nodeID, kind, format, args...)
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	rec.EventKind(now, nodeID, kind, msg)
+	s.tail = append(s.tail, fmt.Sprintf("t=%-8d n%-3d %-14s %s", now, nodeID, kind, msg))
 }
 
 // EventLog returns the recorded log lines (empty unless
@@ -176,18 +315,28 @@ func (s *Sim) Run() (*Result, error) {
 		return nil, fmt.Errorf("cluster: Sim.Run called twice (build a new Sim to replay)")
 	}
 	s.ran = true
-	for _, n := range s.nodes {
-		n.startEpoch(0)
-	}
-	if s.fast != nil {
-		for s.doneNodes < len(s.nodes) {
-			if !s.stepFast() {
+	s.start()
+	switch {
+	case s.par != nil:
+		s.par.run()
+	case s.ex.fast != nil:
+		x := s.ex
+		for x.doneNodes < len(s.nodes) {
+			if x.stepFast(math.MaxInt64) != stepOK {
 				break
 			}
 		}
-	} else {
+	default:
 		s.runSlow()
 	}
+	return s.finish()
+}
+
+// finish seals a completed (or stuck) run: merge the log buffers and
+// snapshot the Result. Shared by Run and the batch executor's lockstep
+// lanes.
+func (s *Sim) finish() (*Result, error) {
+	s.finishLog()
 	res := s.result()
 	if s.stuck != nil {
 		return res, fmt.Errorf("cluster: %s run stuck: %s", s.cfg.Protocol, s.stuck)
@@ -195,45 +344,84 @@ func (s *Sim) Run() (*Result, error) {
 	return res, nil
 }
 
+// start launches epoch 0 on every node (single-threaded, before any
+// shard worker observes the queues).
+func (s *Sim) start() {
+	for _, n := range s.nodes {
+		n.startEpoch(0)
+	}
+}
+
+// finishLog merges the sharded per-lane log buffers into canonical
+// event order and appends the stuck tail.
+func (s *Sim) finishLog() {
+	if s.par != nil && s.cfg.LogEvents {
+		var all []logLine
+		for _, x := range s.par.shards {
+			all = append(all, x.lines...)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			a, b := all[i], all[j]
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			if a.node != b.node {
+				return a.node < b.node
+			}
+			if a.pri != b.pri {
+				return a.pri < b.pri
+			}
+			return a.sub < b.sub
+		})
+		for _, l := range all {
+			s.log = append(s.log, l.text)
+		}
+	}
+	s.log = append(s.log, s.tail...)
+	s.tail = nil
+}
+
 // runSlow is the closure engine's main loop.
 func (s *Sim) runSlow() {
-	for s.doneNodes < len(s.nodes) {
-		if s.heap.Len() == 0 {
+	x := s.ex
+	for x.doneNodes < len(s.nodes) {
+		if x.heap.Len() == 0 {
 			// No pending events but nodes unfinished: a protocol bug
 			// (reliable delivery always leaves a timer pending).
-			s.diagnoseStuck("event queue drained")
+			s.diagnoseStuck(x.now, "event queue drained")
 			break
 		}
-		ev := heap.Pop(&s.heap).(*event)
-		s.now = ev.at
-		if !s.checkBudget() {
+		ev := heap.Pop(&x.heap).(*event)
+		x.now = ev.at
+		if why := s.budgetWhy(x.now, x.lastProgress); why != "" {
+			s.diagnoseStuck(x.now, why)
 			break
 		}
 		ev.fn()
 	}
 }
 
-// checkBudget runs the per-event liveness checks with s.now already
-// advanced; false means the run was diagnosed stuck and must stop. Both
-// engines call this on every popped event, so the watchdog semantics do
+// budgetWhy runs the per-event liveness checks with the event's time
+// already adopted; non-empty means the run is stuck for that reason.
+// Every engine applies this to every dispatched event — the parallel
+// engine by proving per window that it cannot fire (and falling back to
+// serial careful stepping when it might), so the watchdog semantics do
 // not depend on the engine.
-func (s *Sim) checkBudget() bool {
-	if s.now-s.lastProgress > s.cfg.WatchdogAfter {
-		s.diagnoseStuck("no epoch completed within watchdog window")
-		return false
+func (s *Sim) budgetWhy(now, lastProgress int64) string {
+	if now-lastProgress > s.cfg.WatchdogAfter {
+		return "no epoch completed within watchdog window"
 	}
-	if s.now > s.cfg.MaxTicks {
-		s.diagnoseStuck("tick budget exhausted")
-		return false
+	if now > s.cfg.MaxTicks {
+		return "tick budget exhausted"
 	}
-	return true
+	return ""
 }
 
 // diagnoseStuck builds the watchdog report: the laggiest node, the
 // epoch it is wedged in, and a state line per node, all rendered
 // through the trace layer as EvTimeout events.
-func (s *Sim) diagnoseStuck(why string) {
-	rep := &StuckReport{At: s.now, Node: -1, Why: why}
+func (s *Sim) diagnoseStuck(now int64, why string) {
+	rep := &StuckReport{At: now, Node: -1, Why: why}
 	minReleased := int64(-1)
 	for _, n := range s.nodes {
 		if !n.done && (rep.Node < 0 || n.releasedThrough < minReleased) {
@@ -243,23 +431,37 @@ func (s *Sim) diagnoseStuck(why string) {
 		}
 		rep.States = append(rep.States, fmt.Sprintf("node %d: %s", n.id, n.stateLine()))
 	}
-	s.logf(rep.Node, trace.EvTimeout, "watchdog (%s): node %d stuck at epoch %d", why, rep.Node, rep.Epoch)
+	s.tailf(now, rep.Node, trace.EvTimeout, "watchdog (%s): node %d stuck at epoch %d", why, rep.Node, rep.Epoch)
 	for i, line := range rep.States {
-		s.logf(i, trace.EvTimeout, "%s", line)
+		s.tailf(now, i, trace.EvTimeout, "%s", line)
 	}
 	s.stuck = rep
 }
 
-// result snapshots the counters into a Result.
+// result snapshots the counters into a Result. Counter sums are
+// commutative, so the per-shard split of a parallel run cannot change
+// them.
 func (s *Sim) result() *Result {
 	res := &Result{
 		Protocol: s.cfg.Protocol,
 		Nodes:    s.cfg.Nodes,
 		Epochs:   s.cfg.Epochs,
-		Ticks:    s.now,
-		Sends:    s.sends, Acks: s.acks, Retransmits: s.retransmits,
-		Drops: s.drops, Dups: s.dups, Delivered: s.delivered,
-		Stuck: s.stuck,
+		Stuck:    s.stuck,
+	}
+	lanes := []*exec{s.ex}
+	if s.par != nil {
+		lanes = s.par.shards
+	}
+	for _, x := range lanes {
+		if x.now > res.Ticks {
+			res.Ticks = x.now
+		}
+		res.Sends += x.sends
+		res.Acks += x.acks
+		res.Retransmits += x.retransmits
+		res.Drops += x.drops
+		res.Dups += x.dups
+		res.Delivered += x.delivered
 	}
 	for _, n := range s.nodes {
 		res.Stall += n.stall

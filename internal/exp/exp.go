@@ -1,5 +1,5 @@
 // Package exp regenerates the paper's evaluation: one function per table
-// or figure (see DESIGN.md's per-experiment index, E1..E20). Each
+// or figure (see DESIGN.md's per-experiment index, E1..E21). Each
 // experiment returns a trace.Table whose rows are the series the paper
 // reports; EXPERIMENTS.md records the expected shapes next to the paper's
 // numbers.
@@ -36,10 +36,33 @@ func SetParallelism(n int) { parallelism.Store(int64(n)) }
 // Parallelism returns the effective sweep worker count.
 func Parallelism() int { return sweep.Workers(int(parallelism.Load())) }
 
+// progressHook, when set, observes every sweep cell completion
+// (sweep.RunProgress contract: serialized calls, counts 1..n). Like
+// parallelism it is process-global, set once by the CLI before any
+// experiment runs.
+var progressHook atomic.Value // of progressFn
+
+type progressFn func(done, total int)
+
+// SetProgress installs a hook called after each sweep cell completes,
+// with the completed and total cell counts of the current experiment's
+// sweep; nil disables it. Long sweeps (E15/E16/E21) are otherwise
+// silent for minutes.
+func SetProgress(hook func(done, total int)) { progressHook.Store(progressFn(hook)) }
+
+// Progress returns the installed hook, or nil.
+func Progress() func(done, total int) {
+	if h, ok := progressHook.Load().(progressFn); ok && h != nil {
+		return h
+	}
+	return nil
+}
+
 // sweepRun executes n independent experiment cells on the configured
-// worker pool, returning results in index order.
+// worker pool, returning results in index order and reporting cell
+// completions to the installed progress hook.
 func sweepRun[T any](n int, fn func(i int) (T, error)) ([]T, error) {
-	return sweep.Run(Parallelism(), n, fn)
+	return sweep.RunProgress(Parallelism(), n, Progress(), fn)
 }
 
 // Experiment identifies one reproducible table/figure.
@@ -72,6 +95,7 @@ func All() []Experiment {
 		{"E18", "Fleet epoch aggregation: reduce-barrier allreduce vs central gather (extension)", E18FleetAggregation},
 		{"E19", "barrierd epoch latency vs offered load over lossy links (extension)", E19ServiceLatency},
 		{"E20", "Hierarchical vs flat split barriers: hot-spot traffic under routing (extension)", E20HierScaling},
+		{"E21", "Parallel-engine shard equivalence + batched-seed replay (engine extension)", E21ParallelEquivalence},
 	}
 }
 

@@ -10,12 +10,17 @@ import (
 	"runtime/pprof"
 )
 
-// Start begins CPU profiling to cpuPath and arranges a heap profile at
-// memPath; either path may be empty to skip that profile. The returned
-// stop function flushes and closes the profiles — call it exactly once,
-// on every exit path that should produce output (a deferred call in main
+// Start begins CPU profiling to cpuPath and arranges end-of-run
+// snapshots: a heap profile at memPath, a mutex-contention profile at
+// mutexPath, and a blocking (off-CPU wait) profile at blockPath. Any
+// path may be empty to skip that profile. Contention profiling is
+// enabled only while a mutex/block path is armed — the sampling rates
+// are restored to their defaults at stop, so profiled and unprofiled
+// runs of the hot paths otherwise behave identically. The returned stop
+// function flushes and closes the profiles — call it exactly once, on
+// every exit path that should produce output (a deferred call in main
 // does not run under os.Exit).
-func Start(cpuPath, memPath string) (stop func() error, err error) {
+func Start(cpuPath, memPath, mutexPath, blockPath string) (stop func() error, err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		cpuFile, err = os.Create(cpuPath)
@@ -27,30 +32,48 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("prof: %w", err)
 		}
 	}
+	if mutexPath != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if blockPath != "" {
+		runtime.SetBlockProfileRate(1)
+	}
 	return func() error {
 		var firstErr error
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			if err := cpuFile.Close(); err != nil {
+		keep := func(err error) {
+			if err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("prof: %w", err)
 			}
 		}
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			keep(cpuFile.Close())
+		}
 		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("prof: %w", err)
-				}
-				return firstErr
-			}
 			runtime.GC() // settle live-heap numbers before the snapshot
-			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("prof: %w", err)
-			}
-			if err := f.Close(); err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("prof: %w", err)
-			}
+			keep(writeLookup(memPath, "heap"))
+		}
+		if mutexPath != "" {
+			keep(writeLookup(mutexPath, "mutex"))
+			runtime.SetMutexProfileFraction(0)
+		}
+		if blockPath != "" {
+			keep(writeLookup(blockPath, "block"))
+			runtime.SetBlockProfileRate(0)
 		}
 		return firstErr
 	}, nil
+}
+
+// writeLookup snapshots one named runtime/pprof profile to path.
+func writeLookup(path, profile string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := pprof.Lookup(profile).WriteTo(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -3,6 +3,8 @@ package prof
 import (
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 )
 
@@ -10,7 +12,9 @@ func TestStartWritesProfiles(t *testing.T) {
 	tmp := t.TempDir()
 	cpu := filepath.Join(tmp, "cpu.pprof")
 	mem := filepath.Join(tmp, "mem.pprof")
-	stop, err := Start(cpu, mem)
+	mtx := filepath.Join(tmp, "mutex.pprof")
+	blk := filepath.Join(tmp, "block.pprof")
+	stop, err := Start(cpu, mem, mtx, blk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,10 +24,25 @@ func TestStartWritesProfiles(t *testing.T) {
 		x = x*31 + i
 	}
 	_ = x
+	// Contend a mutex so the mutex/block profiles have samples too.
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				mu.Lock()
+				x++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
 	if err := stop(); err != nil {
 		t.Fatal(err)
 	}
-	for _, p := range []string{cpu, mem} {
+	for _, p := range []string{cpu, mem, mtx, blk} {
 		st, err := os.Stat(p)
 		if err != nil {
 			t.Fatalf("profile missing: %v", err)
@@ -35,7 +54,7 @@ func TestStartWritesProfiles(t *testing.T) {
 }
 
 func TestStartNoPaths(t *testing.T) {
-	stop, err := Start("", "")
+	stop, err := Start("", "", "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +64,27 @@ func TestStartNoPaths(t *testing.T) {
 }
 
 func TestStartBadPath(t *testing.T) {
-	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), ""); err == nil {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "x"), "", "", ""); err == nil {
 		t.Fatal("expected error for unwritable cpu path")
+	}
+}
+
+// TestStartRestoresContentionRates: stop must switch contention
+// sampling back off so profiled runs don't leak overhead into the rest
+// of the process.
+func TestStartRestoresContentionRates(t *testing.T) {
+	tmp := t.TempDir()
+	stop, err := Start("", "", filepath.Join(tmp, "m.pprof"), filepath.Join(tmp, "b.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := runtime.SetMutexProfileFraction(-1); f != 1 {
+		t.Errorf("mutex profile fraction while armed = %d, want 1", f)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if f := runtime.SetMutexProfileFraction(-1); f != 0 {
+		t.Errorf("mutex profile fraction after stop = %d, want 0", f)
 	}
 }

@@ -39,6 +39,17 @@ func Workers(n int) int {
 // a high-index cell panicking does not outrank a lower-index cell's
 // error: the serial loop would have stopped at the error first.
 func Run[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return RunProgress(workers, n, nil, fn)
+}
+
+// RunProgress is Run with a completion hook: progress (when non-nil) is
+// called after each cell finishes — success or failure — with the
+// number of completed cells and the total. Calls are serialized (never
+// concurrent) and counts are strictly increasing from 1 to n, so a
+// caller can render a progress line without its own locking. The hook
+// observes completion order, which is scheduler-dependent; only the
+// counts are deterministic.
+func RunProgress[T any](workers, n int, progress func(done, total int), fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n <= 0 {
 		return out, nil
@@ -50,6 +61,9 @@ func Run[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			v, err := fn(i)
+			if progress != nil {
+				progress(i+1, n)
+			}
 			if err != nil {
 				return out, err
 			}
@@ -61,6 +75,8 @@ func Run[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	errs := make([]error, n)
 	panics := make([]any, n)
 	var next atomic.Int64
+	var mu sync.Mutex
+	done := 0
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -72,6 +88,12 @@ func Run[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 					return
 				}
 				runCell(i, fn, out, errs, panics)
+				if progress != nil {
+					mu.Lock()
+					done++
+					progress(done, n)
+					mu.Unlock()
+				}
 			}
 		}()
 	}

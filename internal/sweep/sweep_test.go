@@ -175,3 +175,35 @@ func TestWorkers(t *testing.T) {
 		t.Error("positive passes through")
 	}
 }
+
+// TestRunProgress pins the hook contract at both worker counts:
+// serialized calls, totals always n, counts strictly 1..n, and results
+// identical to a hookless Run.
+func TestRunProgress(t *testing.T) {
+	const n = 23
+	for _, workers := range []int{1, 4} {
+		var calls []int
+		out, err := RunProgress(workers, n, func(done, total int) {
+			if total != n {
+				t.Errorf("workers=%d: progress total = %d, want %d", workers, total, n)
+			}
+			calls = append(calls, done) // serialized by contract; -race would catch a violation
+		}, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+		if len(calls) != n {
+			t.Fatalf("workers=%d: progress called %d times, want %d", workers, len(calls), n)
+		}
+		for i, d := range calls {
+			if d != i+1 {
+				t.Fatalf("workers=%d: progress counts not 1..n: %v", workers, calls)
+			}
+		}
+	}
+}
